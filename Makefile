@@ -1,0 +1,40 @@
+# Convenience targets for the fpmpart repository.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments report cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzReadText -fuzztime=15s ./internal/fpm/
+	$(GO) test -fuzz=FuzzPiecewiseLinear -fuzztime=15s ./internal/fpm/
+	$(GO) test -fuzz=FuzzRoundShares -fuzztime=15s ./internal/partition/
+	$(GO) test -fuzz=FuzzFPMPartition -fuzztime=15s ./internal/partition/
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+report:
+	$(GO) run ./cmd/experiments -report experiment-report.md
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out experiment-report.md test_output.txt bench_output.txt

@@ -1,0 +1,206 @@
+package fpmpart_test
+
+// Integration tests for the command-line tools: each binary is built once
+// into a temporary directory and exercised end to end. They are skipped in
+// -short mode (they shell out to the Go toolchain).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fpmpart-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, c := range []string{"experiments", "fpmbench", "fpmpartition", "matmul", "stencil"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, c), "./cmd/"+c)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", c, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building commands: %v", buildErr)
+	}
+	return binDir
+}
+
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCmds(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCmd(t, "experiments", "-list")
+	for _, want := range []string{"figure2", "figure7", "table2", "table3", "ablation-dynamic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	out = runCmd(t, "experiments", "table2")
+	if !strings.Contains(out, "Hybrid-FPM") || !strings.Contains(out, "40 x 40") {
+		t.Errorf("table2 output malformed:\n%s", out)
+	}
+	// CSV export.
+	dir := t.TempDir()
+	runCmd(t, "experiments", "-csv", dir, "table3")
+	data, err := os.ReadFile(filepath.Join(dir, "table3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "FPM GTX680") {
+		t.Errorf("csv malformed:\n%s", data)
+	}
+	// Markdown rendering.
+	out = runCmd(t, "experiments", "-markdown", "table1")
+	if !strings.Contains(out, "| component |") {
+		t.Errorf("markdown output malformed:\n%s", out)
+	}
+}
+
+func TestCLIFpmbenchAndPartitionRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	out := runCmd(t, "fpmbench", "-out", dir, "-points", "8")
+	if !strings.Contains(out, "GTX680") || !strings.Contains(out, "Gflops") {
+		t.Errorf("fpmbench output malformed:\n%s", out)
+	}
+	for _, f := range []string{"socket5.fpm", "socket6.fpm", "GTX680.fpm", "TeslaC870.fpm"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("model file %s missing: %v", f, err)
+		}
+	}
+	out = runCmd(t, "fpmpartition", "-n", "60", "-models", dir)
+	if !strings.Contains(out, "FPM") || !strings.Contains(out, "GTX680") {
+		t.Errorf("fpmpartition output malformed:\n%s", out)
+	}
+	// The FPM row reports a near-balanced distribution.
+	if !strings.Contains(out, "imbalance") {
+		t.Errorf("no imbalance report:\n%s", out)
+	}
+	// Single-device selection.
+	out = runCmd(t, "fpmbench", "-device", "GTX680", "-points", "6")
+	if strings.Contains(out, "TeslaC870") {
+		t.Errorf("-device filter leaked other devices:\n%s", out)
+	}
+	// Adaptive placement.
+	out = runCmd(t, "fpmbench", "-adaptive", "-device", "TeslaC870", "-points", "10")
+	if !strings.Contains(out, "TeslaC870") || !strings.Contains(out, "kernel runs") {
+		t.Errorf("adaptive fpmbench malformed:\n%s", out)
+	}
+}
+
+func TestCLIMatmul(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCmd(t, "matmul", "-mode", "sim", "-config", "hybrid", "-n", "40")
+	if !strings.Contains(out, "GTX680") || !strings.Contains(out, "total") {
+		t.Errorf("sim output malformed:\n%s", out)
+	}
+	out = runCmd(t, "matmul", "-mode", "real", "-n", "8", "-b", "16", "-procs", "4")
+	if !strings.Contains(out, "verification OK") {
+		t.Errorf("real mode did not verify:\n%s", out)
+	}
+	out = runCmd(t, "matmul", "-mode", "trace", "-n", "45")
+	for _, want := range []string{"GTX680", "h2d", "compute", "busy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIStencil(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCmd(t, "stencil", "-rows", "480", "-cols", "256", "-iters", "6", "-workers", "1,3")
+	if !strings.Contains(out, "verification OK") {
+		t.Errorf("stencil did not verify:\n%s", out)
+	}
+	if !strings.Contains(out, "FPM row bands") {
+		t.Errorf("no partitioning report:\n%s", out)
+	}
+}
+
+// TestExamplesRun executes every example program end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cases := map[string]string{
+		"quickstart": "FPM imbalance",
+		"hybridnode": "FPM cuts execution time",
+		"outofcore":  "out of core",
+		"jacobi":     "max diff",
+		"cluster":    "predicted cluster makespan",
+		"realfpm":    "predicted imbalance",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+}
+
+func TestCLIPlatformConfigAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	plat := filepath.Join(dir, "plat.json")
+	out := runCmd(t, "experiments", "-dump-platform")
+	if err := os.WriteFile(plat, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmd(t, "experiments", "-platform", plat, "table1")
+	if !strings.Contains(out, "ig.icl.utk.edu") {
+		t.Errorf("platform config not used:\n%s", out)
+	}
+	rep := filepath.Join(dir, "report.md")
+	runCmd(t, "experiments", "-report", rep, "table1")
+	data, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# Experiment report") {
+		t.Errorf("report malformed:\n%s", data)
+	}
+}

@@ -1,0 +1,128 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (and the ablation studies) on the modelled hybrid platform.
+//
+// Usage:
+//
+//	experiments                  # run everything
+//	experiments table2 figure7   # run selected experiments
+//	experiments -list            # list available experiments
+//	experiments -csv out/ table3 # also write out/table3.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpmpart/internal/experiments"
+	"fpmpart/internal/gpukernel"
+	"fpmpart/internal/hw"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files into")
+		md       = flag.Bool("markdown", false, "render tables as markdown instead of aligned text")
+		report   = flag.String("report", "", "write a single markdown report of the selected experiments to this file")
+		platform = flag.String("platform", "", "JSON platform config to run on (default: the paper's ig node; see -dump-platform)")
+		dumpPlat = flag.Bool("dump-platform", false, "print the default platform as JSON config and exit")
+		seed     = flag.Int64("seed", 1, "measurement-noise seed")
+		sigma    = flag.Float64("noise", 0.01, "relative measurement noise")
+		version  = flag.Int("kernel", 2, "GPU kernel version for partitioning experiments (1, 2 or 3)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *dumpPlat {
+		if err := hw.WriteConfig(os.Stdout, hw.NewIGNode()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = experiments.Names()
+	}
+	node := hw.NewIGNode()
+	if *platform != "" {
+		f, err := os.Open(*platform)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		node, err = hw.ReadConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	opts := experiments.ModelOptions{
+		Seed:       *seed,
+		NoiseSigma: *sigma,
+		Version:    gpukernel.Version(*version),
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteReport(f, node, opts, names); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *report, len(names))
+		return
+	}
+	exit := 0
+	for _, name := range names {
+		tab, err := experiments.Run(name, node, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		render := tab.Render
+		if *md {
+			render = tab.RenderMarkdown
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tab); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.WriteCSV(f)
+}

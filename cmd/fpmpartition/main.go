@@ -1,0 +1,143 @@
+// Command fpmpartition partitions a square matrix across the modelled
+// hybrid node's devices and prints the block distributions under the
+// FPM-based, CPM-based and homogeneous algorithms, with their predicted
+// per-device completion times (the content of the paper's Table III).
+//
+// Usage:
+//
+//	fpmpartition -n 60
+//	fpmpartition -n 70 -kernel 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpmpart/internal/experiments"
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/gpukernel"
+	"fpmpart/internal/hw"
+	"fpmpart/internal/partition"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 60, "matrix size in blocks (the problem is n x n)")
+		version  = flag.Int("kernel", 2, "GPU kernel version (1, 2 or 3)")
+		seed     = flag.Int64("seed", 1, "measurement-noise seed")
+		modelDir = flag.String("models", "", "load <device>.fpm model files from this directory (as written by fpmbench -out) instead of benchmarking")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fatal(fmt.Errorf("invalid -n %d", *n))
+	}
+
+	node := hw.NewIGNode()
+	models, err := experiments.BuildModels(node, experiments.ModelOptions{
+		Seed: *seed, Version: gpukernel.Version(*version),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	devs := models.Devices()
+	if *modelDir != "" {
+		if err := loadModels(*modelDir, node, models); err != nil {
+			fatal(err)
+		}
+		devs = models.Devices()
+	}
+
+	fpmRes, err := partition.FPM(devs, *n**n, partition.FPMOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	cpmDevs, err := models.CPMDevices(experiments.CPMRefBlocks)
+	if err != nil {
+		fatal(err)
+	}
+	cpmRes, err := partition.CPM(cpmDevs, *n**n, experiments.CPMRefBlocks)
+	if err != nil {
+		fatal(err)
+	}
+	homRes, err := partition.Homogeneous(devs, *n**n)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Partitioning %d x %d blocks (%d units) over %d devices\n\n", *n, *n, *n**n, len(devs))
+	fmt.Printf("%-16s  %10s  %10s  %10s\n", "device", "FPM", "CPM", "homog.")
+	for i, d := range devs {
+		fmt.Printf("%-16s  %10d  %10d  %10d\n", d.Name,
+			fpmRes.Units()[i], cpmRes.Units()[i], homRes.Units()[i])
+	}
+	fmt.Println()
+	report := func(name string, r partition.Result) {
+		// Evaluate every distribution against the functional models — the
+		// paper's point is that CPM's distribution only looks balanced to
+		// the constant model.
+		var lo, hi float64
+		lo = -1
+		for i, d := range devs {
+			if r.Units()[i] == 0 {
+				continue
+			}
+			ti := fpm.Time(d.Model, float64(r.Units()[i]))
+			if lo < 0 || ti < lo {
+				lo = ti
+			}
+			if ti > hi {
+				hi = ti
+			}
+		}
+		fmt.Printf("%-8s predicted completion: slowest %.2f s/iter-unit, imbalance %.1f%%\n",
+			name, hi, (hi/lo-1)*100)
+	}
+	report("FPM", fpmRes)
+	report("CPM", cpmRes)
+	report("homog.", homRes)
+}
+
+// loadModels replaces the benchmarked models with ones read from
+// fpmbench-style .fpm files where present: socket<cores-1>.fpm and
+// socket<cores>.fpm for the host/full socket curves, <gpu name>.fpm per
+// GPU. Missing files keep the freshly benchmarked model.
+func loadModels(dir string, node *hw.Node, models *experiments.Models) error {
+	read := func(name string) (*fpm.PiecewiseLinear, error) {
+		f, err := os.Open(filepath.Join(dir, name+".fpm"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		defer f.Close()
+		return fpm.ReadText(f)
+	}
+	for s, sock := range node.Sockets {
+		if m, err := read(fmt.Sprintf("socket%d", sock.Cores-1)); err != nil {
+			return err
+		} else if m != nil {
+			models.SocketHost[s] = m
+		}
+		if m, err := read(fmt.Sprintf("socket%d", sock.Cores)); err != nil {
+			return err
+		} else if m != nil {
+			models.SocketFull[s] = m
+		}
+	}
+	for g, gpu := range node.GPUs {
+		if m, err := read(gpu.Name); err != nil {
+			return err
+		} else if m != nil {
+			models.GPU[g] = m
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpmpartition:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Quickstart: balance a workload between two heterogeneous devices using
+// functional performance models, and see why a constant model fails.
+//
+// The "gpu" device is fast while the problem fits its memory and collapses
+// beyond it; the "cpu" device is slow but steady — the canonical setting of
+// the CLUSTER 2012 paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpmpart"
+)
+
+func main() {
+	gpu := fpmpart.MustModel([]fpmpart.ModelPoint{
+		{Size: 100, Speed: 700},
+		{Size: 900, Speed: 930},
+		{Size: 1300, Speed: 940}, // device memory limit ≈ 1300 units
+		{Size: 1400, Speed: 450}, // out-of-core cliff
+		{Size: 4000, Speed: 420},
+	})
+	cpu := fpmpart.MustModel([]fpmpart.ModelPoint{
+		{Size: 60, Speed: 70},
+		{Size: 600, Speed: 98},
+		{Size: 4000, Speed: 105},
+	})
+	devices := []fpmpart.Device{
+		{Name: "gpu", Model: gpu},
+		{Name: "cpu", Model: cpu},
+	}
+
+	for _, n := range []int{1200, 4000} {
+		fmt.Printf("== problem size %d units ==\n", n)
+
+		fpmRes, err := fpmpart.PartitionFPM(devices, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The CPM baseline probes each device once, at a size that happens
+		// to fit the GPU's memory.
+		cpmRes, err := fpmpart.PartitionCPM(devices, n, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-8s  %14s  %14s\n", "device", "FPM units(t)", "CPM units(t)")
+		for i := range devices {
+			f, c := fpmRes.Assignments[i], cpmRes.Assignments[i]
+			// Evaluate both distributions under the true models.
+			cTrue := float64(c.Units) / devices[i].Model.Speed(float64(c.Units))
+			fmt.Printf("%-8s  %8d (%.1fs)  %8d (%.1fs)\n",
+				devices[i].Name, f.Units, f.PredictedTime, c.Units, cTrue)
+		}
+		fmt.Printf("FPM imbalance: %.1f%%\n\n", fpmRes.Imbalance()*100)
+	}
+
+	fmt.Println("At 1200 units both algorithms agree: the GPU is ~9x the CPU.")
+	fmt.Println("At 4000 units the CPM still hands the GPU ~90% of the work, but the")
+	fmt.Println("GPU has fallen off its memory cliff — the FPM rebalances to ~4:1.")
+}

@@ -1,0 +1,3 @@
+module fpmpart
+
+go 1.22

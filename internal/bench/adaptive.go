@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/stats"
+)
+
+// Adaptive model construction: instead of a fixed grid, measurement points
+// are placed where the piecewise-linear interpolation mispredicts — the
+// strategy used by the paper's research software (fupermod) to spend the
+// benchmarking budget on the interesting parts of the curve (ramps, cache
+// cliffs, the GPU memory boundary) rather than on its flat plateaus.
+
+// AdaptiveOptions configures BuildModelAdaptive.
+type AdaptiveOptions struct {
+	// Options configures the per-point repeat-until-reliable loop.
+	Options
+	// RelTol is the acceptable relative error of the interpolated time at
+	// an interval's midpoint; intervals above it keep splitting. Default
+	// 0.05.
+	RelTol float64
+	// MaxPoints bounds the number of measured sizes. Default 24.
+	MaxPoints int
+	// MinGap stops splitting intervals narrower than this (default:
+	// (hi-lo)/1024).
+	MinGap float64
+}
+
+func (o AdaptiveOptions) withDefaults(lo, hi float64) AdaptiveOptions {
+	o.Options = o.Options.withDefaults()
+	if o.RelTol <= 0 {
+		o.RelTol = 0.05
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 24
+	}
+	if o.MinGap <= 0 {
+		o.MinGap = (hi - lo) / 1024
+	}
+	return o
+}
+
+// BuildModelAdaptive benchmarks the kernel over [lo, hi], recursively
+// splitting the interval whose midpoint time the current model mispredicts
+// the most, until every interval interpolates within RelTol or MaxPoints
+// sizes have been measured.
+func BuildModelAdaptive(k Kernel, lo, hi float64, opts AdaptiveOptions) (*fpm.PiecewiseLinear, Report, error) {
+	if k == nil {
+		return nil, Report{}, errors.New("bench: nil kernel")
+	}
+	if lo <= 0 || hi <= lo {
+		return nil, Report{}, fmt.Errorf("bench: invalid adaptive range [%v, %v]", lo, hi)
+	}
+	if max := k.MaxSize(); max > 0 && hi > max {
+		hi = max
+		if hi <= lo {
+			return nil, Report{}, fmt.Errorf("bench: range below %s's limit %v", k.Name(), max)
+		}
+	}
+	opts = opts.withDefaults(lo, hi)
+
+	rep := Report{Kernel: k.Name()}
+	measured := map[float64]float64{} // size -> mean time
+	measure := func(x float64) (float64, error) {
+		if t, ok := measured[x]; ok {
+			return t, nil
+		}
+		est := stats.NewEstimator(opts.Confidence, opts.RelErr, opts.MinReps, opts.MaxReps)
+		mean, err := est.Measure(func() (float64, error) { return k.Run(x) })
+		if err != nil {
+			return 0, fmt.Errorf("bench: %s at size %v: %w", k.Name(), x, err)
+		}
+		measured[x] = mean
+		rep.Points = append(rep.Points, PointReport{
+			Size: x, MeanTime: mean, Reps: est.N(), Converged: est.Converged(),
+		})
+		rep.TotalRuns += est.N()
+		for _, v := range est.Sample().Values() {
+			rep.TotalTime += v
+		}
+		return mean, nil
+	}
+
+	for _, x := range []float64{lo, hi} {
+		if _, err := measure(x); err != nil {
+			return nil, rep, err
+		}
+	}
+
+	type interval struct{ a, b float64 }
+	queue := []interval{{lo, hi}}
+	for len(queue) > 0 && len(measured) < opts.MaxPoints {
+		iv := queue[0]
+		queue = queue[1:]
+		if iv.b-iv.a <= opts.MinGap {
+			continue
+		}
+		mid := (iv.a + iv.b) / 2
+		ta, tb := measured[iv.a], measured[iv.b]
+		// The model interpolates *speed* linearly; predict the midpoint
+		// time accordingly.
+		sa, sb := iv.a/ta, iv.b/tb
+		predicted := mid / ((sa + sb) / 2)
+		actual, err := measure(mid)
+		if err != nil {
+			return nil, rep, err
+		}
+		if math.Abs(predicted-actual)/actual > opts.RelTol {
+			queue = append(queue, interval{iv.a, mid}, interval{mid, iv.b})
+		}
+	}
+
+	samples := make([]fpm.TimeSample, 0, len(measured))
+	for x, t := range measured {
+		samples = append(samples, fpm.TimeSample{Size: x, Seconds: t})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Size < samples[j].Size })
+	model, err := fpm.FromTimings(samples)
+	if err != nil {
+		return nil, rep, err
+	}
+	return model, rep, nil
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/gpukernel"
+	"fpmpart/internal/hw"
+)
+
+func TestAdaptiveFlatKernelStopsEarly(t *testing.T) {
+	// A perfectly linear time function interpolates exactly: after the two
+	// endpoints and one midpoint probe, nothing else should be measured.
+	k := &FuncKernel{KernelName: "flat", F: func(x float64) (float64, error) { return x / 100, nil }}
+	m, rep, err := BuildModelAdaptive(k, 10, 1000, AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) > 3 {
+		t.Errorf("flat kernel measured %d points, want <= 3", len(rep.Points))
+	}
+	if got := m.Speed(500); math.Abs(got-100) > 1e-9 {
+		t.Errorf("speed = %v", got)
+	}
+}
+
+func TestAdaptiveConcentratesOnCliff(t *testing.T) {
+	// A time function with a knee at x=500: cost doubles beyond it.
+	cliff := func(x float64) (float64, error) {
+		if x <= 500 {
+			return x * 1e-3, nil
+		}
+		return 0.5 + (x-500)*2e-3, nil
+	}
+	k := &FuncKernel{KernelName: "cliff", F: cliff}
+	m, rep, err := BuildModelAdaptive(k, 10, 1000, AdaptiveOptions{MaxPoints: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The splitting recursion must have probed the knee region, and the
+	// whole model should need far fewer points than its budget (a uniform
+	// grid resolving the knee to the same accuracy would use all of them).
+	knee := false
+	for _, p := range rep.Points {
+		if p.Size > 400 && p.Size < 700 {
+			knee = true
+		}
+	}
+	if !knee {
+		t.Errorf("no measurement near the knee: %+v", rep.Points)
+	}
+	if len(rep.Points) > 12 {
+		t.Errorf("piecewise-linear target should converge in few points, used %d", len(rep.Points))
+	}
+	// The refined model predicts the knee region well.
+	for _, x := range []float64{400, 500, 600, 800} {
+		want, _ := cliff(x)
+		got := fpm.Time(m, x)
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("time(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestAdaptiveRespectsMaxPoints(t *testing.T) {
+	// A wiggly kernel that never interpolates well.
+	k := &FuncKernel{KernelName: "wiggle", F: func(x float64) (float64, error) {
+		return x * 1e-3 * (1.5 + math.Sin(x/20)), nil
+	}}
+	_, rep, err := BuildModelAdaptive(k, 10, 1000, AdaptiveOptions{MaxPoints: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) > 9 {
+		t.Errorf("measured %d points, budget 9", len(rep.Points))
+	}
+}
+
+func TestAdaptiveRespectsKernelLimit(t *testing.T) {
+	k := &FuncKernel{KernelName: "lim", Max: 300, F: func(x float64) (float64, error) { return x, nil }}
+	m, _, err := BuildModelAdaptive(k, 10, 1000, AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi := m.Domain()
+	if hi > 300 {
+		t.Errorf("model domain %v exceeds kernel limit", hi)
+	}
+	if _, _, err := BuildModelAdaptive(k, 400, 1000, AdaptiveOptions{}); err == nil {
+		t.Error("range entirely beyond limit accepted")
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	ok := &FuncKernel{KernelName: "ok", F: func(x float64) (float64, error) { return x, nil }}
+	if _, _, err := BuildModelAdaptive(nil, 1, 10, AdaptiveOptions{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, _, err := BuildModelAdaptive(ok, 0, 10, AdaptiveOptions{}); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, _, err := BuildModelAdaptive(ok, 10, 10, AdaptiveOptions{}); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestAdaptiveFindsGPUMemoryCliff(t *testing.T) {
+	// End to end: the adaptive builder should resolve the GTX680's
+	// out-of-core cliff with fewer points than a uniform grid needs.
+	g := hw.NewGTX680()
+	k := &GPUKernel{GPU: g, Version: gpukernel.V2, BlockSize: 640, ElemBytes: 4, OutOfCore: true}
+	m, rep, err := BuildModelAdaptive(k, 16, 4000, AdaptiveOptions{MaxPoints: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) > 22 {
+		t.Fatalf("budget exceeded: %d", len(rep.Points))
+	}
+	// The model must see both regimes: fast in-memory, slow out-of-core.
+	inMem := m.Speed(1000)
+	outCore := m.Speed(3000)
+	if outCore > 0.65*inMem {
+		t.Errorf("cliff not captured: in-mem %v vs out-of-core %v", inMem, outCore)
+	}
+}

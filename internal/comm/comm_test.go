@@ -1,0 +1,229 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fpmpart/internal/layout"
+)
+
+// twoByTwo builds a 2x2-process layout over an n×n block matrix.
+func twoByTwo(t *testing.T, n int) *layout.BlockLayout {
+	t.Helper()
+	l, err := layout.Continuous([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := l.Discretize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bl
+}
+
+func TestPivotTransfersTwoByTwo(t *testing.T) {
+	bl := twoByTwo(t, 8)
+	trs, err := PivotTransfers(bl, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0 is owned by the left column's two processes; row 0 by the
+	// top row's two. Each of the 4 processes needs a column piece (4 rows)
+	// and a row piece (4 cols); owners' own pieces are free.
+	// Expected non-self transfers: each left-column owner sends its 4-row
+	// column piece to the rect to its right and to the other-left... count:
+	var colBytes, rowBytes float64
+	for _, tr := range trs {
+		if tr.From == tr.To {
+			t.Fatalf("self transfer %+v", tr)
+		}
+		// With blockBytes=1, column pieces and row pieces are 4 each.
+		if tr.Bytes != 4 {
+			t.Fatalf("unexpected transfer size %+v", tr)
+		}
+		colBytes += tr.Bytes / 2
+		rowBytes += tr.Bytes / 2
+	}
+	// Total foreign pivot data: each process needs 4+4 blocks, of which the
+	// owners already hold some. Just check overall volume: every process
+	// must receive what it lacks; total bytes > 0 and bounded by 4 procs ×
+	// 8 blocks.
+	var total float64
+	for _, tr := range trs {
+		total += tr.Bytes
+	}
+	if total <= 0 || total > 32 {
+		t.Errorf("total transferred = %v, want in (0, 32]", total)
+	}
+}
+
+func TestPivotTransfersSingleProcess(t *testing.T) {
+	l, err := layout.Continuous([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := l.Discretize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := PivotTransfers(bl, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 0 {
+		t.Errorf("single process should not communicate: %v", trs)
+	}
+	if _, err := PivotTransfers(bl, 9, 100); err == nil {
+		t.Error("out-of-range pivot accepted")
+	}
+	if _, err := PivotTransfers(bl, -1, 100); err == nil {
+		t.Error("negative pivot accepted")
+	}
+}
+
+func TestIterationTimeScheduling(t *testing.T) {
+	n := Network{LinkBandwidth: 100, Latency: 0}
+	// Two disjoint transfers run in parallel: makespan = 1s, not 2.
+	trs := []Transfer{{From: 0, To: 1, Bytes: 100}, {From: 2, To: 3, Bytes: 100}}
+	got, err := n.IterationTime(trs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("parallel transfers makespan = %v, want 1", got)
+	}
+	// Two transfers from the same sender serialise.
+	trs = []Transfer{{From: 0, To: 1, Bytes: 100}, {From: 0, To: 2, Bytes: 100}}
+	got, err = n.IterationTime(trs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("same-sender makespan = %v, want 2", got)
+	}
+	// Aggregate cap binds when many pairs talk at once.
+	capped := Network{LinkBandwidth: 100, AggregateBandwidth: 50}
+	trs = []Transfer{{From: 0, To: 1, Bytes: 100}, {From: 2, To: 3, Bytes: 100}}
+	got, err = capped.IterationTime(trs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 { // 200 bytes / 50 B/s
+		t.Errorf("capped makespan = %v, want 4", got)
+	}
+	// Latency applies per message.
+	lat := Network{LinkBandwidth: 100, Latency: 0.5}
+	got, err = lat.IterationTime([]Transfer{{From: 0, To: 1, Bytes: 100}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("latency makespan = %v, want 1.5", got)
+	}
+}
+
+func TestIterationTimeValidation(t *testing.T) {
+	n := DefaultNetwork()
+	if _, err := n.IterationTime([]Transfer{{From: 0, To: 9, Bytes: 1}}, 2); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+	if _, err := n.IterationTime([]Transfer{{From: 0, To: 1, Bytes: -1}}, 2); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	bad := Network{}
+	if _, err := bad.IterationTime(nil, 2); err == nil {
+		t.Error("invalid network accepted")
+	}
+	if got, err := n.IterationTime(nil, 4); err != nil || got != 0 {
+		t.Errorf("empty transfers: %v, %v", got, err)
+	}
+}
+
+func TestAppTimePositiveAndLayoutSensitive(t *testing.T) {
+	net := DefaultNetwork()
+	areas := make([]float64, 8)
+	for i := range areas {
+		areas[i] = float64(1 + i%3)
+	}
+	col, err := layout.Continuous(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colBL, err := col.Discretize(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := layout.OneD(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneBL, err := oneD.Discretize(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colT, err := net.AppTime(colBL, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneT, err := net.AppTime(oneBL, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colT <= 0 {
+		t.Fatalf("column comm time = %v", colT)
+	}
+	// The 1D layout broadcasts wider pivot-row pieces: scheduled time must
+	// not be better than the column-based arrangement's.
+	if oneT < colT {
+		t.Errorf("1D comm %v beat column-based %v", oneT, colT)
+	}
+}
+
+// Property: transfers carry positive bytes between distinct valid processes
+// and the per-iteration schedule time is monotone in the byte volume.
+func TestTransfersProperty(t *testing.T) {
+	bl := twoByTwoQuick()
+	if bl == nil {
+		t.Fatal("layout construction failed")
+	}
+	f := func(kRaw uint8, bbRaw uint8) bool {
+		k := int(kRaw) % bl.N
+		bb := float64(bbRaw%50) + 1
+		trs, err := PivotTransfers(bl, k, bb)
+		if err != nil {
+			return false
+		}
+		for _, tr := range trs {
+			if tr.From == tr.To || tr.Bytes <= 0 {
+				return false
+			}
+			if tr.From < 0 || tr.From >= len(bl.Rects) || tr.To < 0 || tr.To >= len(bl.Rects) {
+				return false
+			}
+		}
+		n := DefaultNetwork()
+		t1, err1 := n.IterationTime(trs, len(bl.Rects))
+		double := make([]Transfer, len(trs))
+		for i, tr := range trs {
+			double[i] = Transfer{From: tr.From, To: tr.To, Bytes: tr.Bytes * 2}
+		}
+		t2, err2 := n.IterationTime(double, len(bl.Rects))
+		return err1 == nil && err2 == nil && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func twoByTwoQuick() *layout.BlockLayout {
+	l, err := layout.Continuous([]float64{2, 1, 1, 2, 1, 1})
+	if err != nil {
+		return nil
+	}
+	bl, err := l.Discretize(12)
+	if err != nil {
+		return nil
+	}
+	return bl
+}

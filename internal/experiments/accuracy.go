@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fpmpart/internal/app"
+	"fpmpart/internal/bench"
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/gpukernel"
+	"fpmpart/internal/hw"
+	"fpmpart/internal/stats"
+)
+
+// AblationModelAccuracy measures how well each model family predicts the
+// true (noiseless) kernel times of the fast GPU across problem sizes: the
+// piecewise-linear FPM, the monotone-cubic FPM built from the same points,
+// and the CPM constant. It quantifies the paper's central claim — the CPM
+// is accurate only near its reference size, the FPM everywhere.
+func AblationModelAccuracy(node *hw.Node, opts ModelOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	g := len(node.GPUs) - 1
+	for i, gpu := range node.GPUs {
+		if gpu.DMAEngines == 2 {
+			g = i
+		}
+	}
+	gpu := node.GPUs[g]
+	kernel := func(noise *stats.Noise) *bench.GPUKernel {
+		return &bench.GPUKernel{
+			GPU: gpu, Version: opts.Version, BlockSize: node.BlockSize,
+			ElemBytes: node.ElemBytes, Noise: noise, OutOfCore: true,
+		}
+	}
+	sizes, err := fpm.Grid(16, opts.MaxBlocks, opts.Points, "geometric")
+	if err != nil {
+		return nil, err
+	}
+	linModel, _, err := bench.BuildModel(kernel(stats.NewNoise(opts.Seed+50, opts.NoiseSigma)), sizes, bench.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cubModel, err := fpm.NewMonotoneCubic(linModel.Points())
+	if err != nil {
+		return nil, err
+	}
+	cpm, err := fpm.ConstantFrom(linModel, CPMRefBlocks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference truth: the noiseless kernel on a dense validation grid,
+	// offset from the training grid.
+	truth := kernel(nil)
+	valSizes, err := fpm.Grid(24, opts.MaxBlocks*0.98, 3*opts.Points, "geometric")
+	if err != nil {
+		return nil, err
+	}
+	var ref []fpm.TimeSample
+	for _, x := range valSizes {
+		tt, err := truth.Run(x)
+		if err != nil {
+			return nil, err
+		}
+		ref = append(ref, fpm.TimeSample{Size: x, Seconds: tt})
+	}
+
+	t := &Table{
+		ID:    "ablation-model-accuracy",
+		Title: fmt.Sprintf("Prediction error of model families on %s kernel times", gpu.Name),
+		Columns: []string{
+			"model", "mean rel err", "max rel err",
+		},
+		Notes: []string{
+			fmt.Sprintf("validation: %d noiseless kernel timings between the training points; CPM probed at %d blocks", len(ref), CPMRefBlocks),
+			"the CPM's max error is its misprediction of the out-of-core regime — the root cause of Table III's overload",
+		},
+	}
+	for _, m := range []struct {
+		name  string
+		model fpm.SpeedFunction
+	}{
+		{"piecewise-linear FPM", linModel},
+		{"monotone-cubic FPM", cubModel},
+		{"CPM constant", cpm},
+	} {
+		mean, max, err := fpm.Accuracy(m.model, ref)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.name, fmt.Sprintf("%.1f%%", mean*100), fmt.Sprintf("%.1f%%", max*100))
+	}
+	return t, nil
+}
+
+// AblationContentionModels tests the paper's Section V conclusion from the
+// other side: Figure 5 shows the exclusive GPU model is only ≈85–90%
+// accurate under CPU contention; this ablation builds the GPU models *with*
+// the contention coefficient folded in and compares the hybrid run's
+// realised imbalance against partitioning from exclusive models.
+func AblationContentionModels(node *hw.Node, ns []int, opts ModelOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{40, 60}
+	}
+	t := &Table{
+		ID:      "ablation-contention-models",
+		Title:   "Partitioning from exclusive vs contention-aware GPU models",
+		Columns: []string{"n", "exclusive imbalance", "aware imbalance", "exclusive total s", "aware total s"},
+		Notes: []string{
+			"exclusive models (the paper's method) are ≈85-90% accurate for GPUs under contention",
+			"folding the coefficient in helps once the GPU share is large (out-of-core sizes); at small sizes integer-rectangle rounding dominates either way — supporting the paper's choice to keep the simpler exclusive measurement",
+		},
+	}
+	exclusive, err := BuildModels(node, opts)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := buildContentionAware(node, opts)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := app.Processes(node, app.Hybrid)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range ns {
+		row := []any{n}
+		var imb, tot []float64
+		for _, m := range []*Models{exclusive, aware} {
+			part, err := m.PartitionFPM(n)
+			if err != nil {
+				return nil, err
+			}
+			res, err := runWithUnits(m, procs, part.Units(), n)
+			if err != nil {
+				return nil, err
+			}
+			imb = append(imb, res.Imbalance())
+			tot = append(tot, res.TotalSeconds)
+		}
+		row = append(row, fmt.Sprintf("%.2f", imb[0]), fmt.Sprintf("%.2f", imb[1]), tot[0], tot[1])
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// buildContentionAware builds node models with the CPU↔GPU contention
+// coefficients applied to the kernels during benchmarking (measuring the
+// devices while the rest of the node is loaded, instead of exclusively).
+func buildContentionAware(node *hw.Node, opts ModelOptions) (*Models, error) {
+	opts = opts.withDefaults()
+	sizes, err := fpm.Grid(8, opts.MaxBlocks, opts.Points, "geometric")
+	if err != nil {
+		return nil, err
+	}
+	m := &Models{
+		Node:       node,
+		Version:    opts.Version,
+		SocketFull: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		SocketHost: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		GPU:        make([]*fpm.PiecewiseLinear, len(node.GPUs)),
+	}
+	seed := opts.Seed + 1000
+	for s, sock := range node.Sockets {
+		for _, host := range []bool{false, true} {
+			active := sock.Cores
+			factor := 1.0
+			if host {
+				active--
+				factor = node.CPUContention
+			}
+			if active < 1 {
+				active = 1
+			}
+			seed++
+			k := &bench.SocketKernel{
+				Socket: sock, Active: active, BlockSize: node.BlockSize,
+				Noise: stats.NewNoise(seed, opts.NoiseSigma), SpeedFactor: factor,
+			}
+			model, _, err := bench.BuildModel(k, sizes, bench.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if host {
+				m.SocketHost[s] = model
+			} else {
+				m.SocketFull[s] = model
+			}
+		}
+	}
+	for g, gpu := range node.GPUs {
+		seed++
+		k := &bench.GPUKernel{
+			GPU: gpu, Version: opts.Version,
+			BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
+			Noise:       stats.NewNoise(seed, opts.NoiseSigma),
+			SpeedFactor: node.GPUContention,
+			OutOfCore:   opts.Version != gpukernel.V1,
+		}
+		model, _, err := bench.BuildModel(k, sizes, bench.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m.GPU[g] = model
+	}
+	return m, nil
+}
+
+// AblationNoise measures the partitioning method's robustness to
+// measurement noise: models are rebuilt at several noise levels with
+// multiple seeds, and the spread of the fast GPU's share and the realised
+// imbalance are reported. The paper controls noise with the
+// repeat-until-reliable loop; this quantifies how much that matters.
+func AblationNoise(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	if n <= 0 {
+		n = 60
+	}
+	const seeds = 3
+	t := &Table{
+		ID:      "ablation-noise",
+		Title:   fmt.Sprintf("Sensitivity to measurement noise at n=%d (%d seeds per level)", n, seeds),
+		Columns: []string{"noise sigma", "G1 share min..max", "share spread", "worst imbalance"},
+		Notes: []string{
+			"the repeat-until-reliable loop keeps per-point error ≈2.5%, so even 5% raw noise leaves the partition stable",
+		},
+	}
+	procs, err := app.Processes(node, app.Hybrid)
+	if err != nil {
+		return nil, err
+	}
+	gtx := 0
+	for i, g := range node.GPUs {
+		if g.DMAEngines == 2 {
+			gtx = i
+		}
+	}
+	for _, sigma := range []float64{0.002, 0.01, 0.05} {
+		lo, hi := -1, -1
+		worst := 0.0
+		for s := int64(0); s < seeds; s++ {
+			o := opts
+			o.NoiseSigma = sigma
+			o.Seed = opts.Seed + 100*s
+			models, err := BuildModels(node, o)
+			if err != nil {
+				return nil, err
+			}
+			part, err := models.PartitionFPM(n)
+			if err != nil {
+				return nil, err
+			}
+			share := part.Units()[gtx]
+			if lo < 0 || share < lo {
+				lo = share
+			}
+			if share > hi {
+				hi = share
+			}
+			res, err := runWithUnits(models, procs, part.Units(), n)
+			if err != nil {
+				return nil, err
+			}
+			if im := res.Imbalance(); im > worst {
+				worst = im
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.1f%%", sigma*100),
+			fmt.Sprintf("%d..%d", lo, hi),
+			fmt.Sprintf("%.1f%%", 100*float64(hi-lo)/float64(hi)),
+			fmt.Sprintf("%.2f", worst))
+	}
+	return t, nil
+}

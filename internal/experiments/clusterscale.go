@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fpmpart/internal/app"
+	"fpmpart/internal/cluster"
+	"fpmpart/internal/hw"
+	"fpmpart/internal/layout"
+	"fpmpart/internal/partition"
+)
+
+// ClusterScaling extends the paper's single-node result to a cluster of
+// hybrid nodes: the global matrix is FPM-partitioned over every socket and
+// GPU of every node (with inter-node broadcasts over a slower interconnect)
+// and compared against the homogeneous distribution, for 1, 2 and 4 nodes.
+func ClusterScaling(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	if n <= 0 {
+		n = 80
+	}
+	t := &Table{
+		ID:      "cluster-scaling",
+		Title:   fmt.Sprintf("FPM partitioning across a cluster of hybrid nodes (n=%d)", n),
+		Columns: []string{"nodes", "FPM total s", "homogeneous total s", "FPM speedup vs 1 node", "inter-node comm s"},
+		Notes: []string{
+			"each node is the paper's platform; inter-node pivot broadcasts ride a 3 GB/s interconnect",
+			"FPM keeps every socket and GPU of every node finishing together; homogeneous is dominated by the slowest cores",
+		},
+	}
+	var base float64
+	for _, count := range []int{1, 2, 4} {
+		nodes := make([]*hw.Node, count)
+		for i := range nodes {
+			nodes[i] = node
+		}
+		cl, err := cluster.New(nodes...)
+		if err != nil {
+			return nil, err
+		}
+		procsAll, err := cl.Processes()
+		if err != nil {
+			return nil, err
+		}
+		// Build models once (identical nodes) and partition over the union
+		// of all devices.
+		models, err := BuildModels(node, opts)
+		if err != nil {
+			return nil, err
+		}
+		devs := models.Devices()
+		var union []partition.Device
+		for i := 0; i < count; i++ {
+			union = append(union, devs...)
+		}
+		var shares []float64
+		part, err := partition.FPM(union, n*n, partition.FPMOptions{})
+		if err != nil {
+			return nil, err
+		}
+		// Expand per-device units to per-process shares node by node.
+		nodeProcs, err := app.Processes(node, app.Hybrid)
+		if err != nil {
+			return nil, err
+		}
+		perDev := len(devs)
+		for i := 0; i < count; i++ {
+			nodeShares, err := models.ProcessShares(nodeProcs, part.Units()[i*perDev:(i+1)*perDev])
+			if err != nil {
+				return nil, err
+			}
+			shares = append(shares, nodeShares...)
+		}
+		l, err := layout.Continuous(shares)
+		if err != nil {
+			return nil, err
+		}
+		bl, err := l.Discretize(n)
+		if err != nil {
+			return nil, err
+		}
+		simOpts := app.SimOptions{Version: models.Version, Contention: true}
+		fpmRes, err := cl.Simulate(procsAll, bl, simOpts)
+		if err != nil {
+			return nil, err
+		}
+		even := make([]float64, len(procsAll))
+		for i := range even {
+			even[i] = 1
+		}
+		le, err := layout.Continuous(even)
+		if err != nil {
+			return nil, err
+		}
+		ble, err := le.Discretize(n)
+		if err != nil {
+			return nil, err
+		}
+		homRes, err := cl.Simulate(procsAll, ble, simOpts)
+		if err != nil {
+			return nil, err
+		}
+		if count == 1 {
+			base = fpmRes.TotalSeconds
+		}
+		t.AddRow(count, fpmRes.TotalSeconds, homRes.TotalSeconds,
+			fmt.Sprintf("%.2fx", base/fpmRes.TotalSeconds),
+			fmt.Sprintf("%.2f", fpmRes.InterCommSeconds))
+	}
+	return t, nil
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fpmpart/internal/app"
+	"fpmpart/internal/bench"
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/gpukernel"
+	"fpmpart/internal/hw"
+	"fpmpart/internal/layout"
+	"fpmpart/internal/partition"
+	"fpmpart/internal/stats"
+)
+
+// Models holds the functional performance models of a node's processing
+// elements, built by benchmarking the kernels exactly as Section V of the
+// paper describes: sockets are measured with all (or all-but-one) cores
+// executing the CPU kernel simultaneously, GPUs with the selected kernel
+// version driven by a dedicated core.
+type Models struct {
+	Node *hw.Node
+	// Version is the GPU kernel version the models were built for.
+	Version gpukernel.Version
+	// SocketFull[s] is the socket's FPM with every core active ("s6" on the
+	// paper's node); SocketHost[s] with one core dedicated to a GPU ("s5").
+	SocketFull, SocketHost []*fpm.PiecewiseLinear
+	// GPU[g] is the combined GPU + dedicated-core FPM ("g1", "g2").
+	GPU []*fpm.PiecewiseLinear
+}
+
+// ModelOptions configures model construction.
+type ModelOptions struct {
+	// Version is the GPU kernel version (default V2, the configuration of
+	// the paper's Section VI experiments).
+	Version gpukernel.Version
+	// Seed drives the reproducible measurement noise.
+	Seed int64
+	// NoiseSigma is the relative measurement noise (default 0.01).
+	NoiseSigma float64
+	// MaxBlocks is the largest problem size to measure (default 4000, the
+	// range of the paper's Figure 3).
+	MaxBlocks float64
+	// Points is the number of grid points per model (default 18).
+	Points int
+}
+
+func (o ModelOptions) withDefaults() ModelOptions {
+	if o.Version == 0 {
+		o.Version = gpukernel.V2
+	}
+	if o.NoiseSigma <= 0 {
+		o.NoiseSigma = 0.01
+	}
+	if o.MaxBlocks <= 0 {
+		o.MaxBlocks = 4000
+	}
+	if o.Points <= 0 {
+		o.Points = 18
+	}
+	return o
+}
+
+// BuildModels benchmarks every processing element of the node and returns
+// its functional performance models.
+func BuildModels(node *hw.Node, opts ModelOptions) (*Models, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	sizes, err := fpm.Grid(8, opts.MaxBlocks, opts.Points, "geometric")
+	if err != nil {
+		return nil, err
+	}
+	bopts := bench.Options{}
+	m := &Models{
+		Node:       node,
+		Version:    opts.Version,
+		SocketFull: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		SocketHost: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		GPU:        make([]*fpm.PiecewiseLinear, len(node.GPUs)),
+	}
+	seed := opts.Seed
+	for s, sock := range node.Sockets {
+		for _, host := range []bool{false, true} {
+			active := sock.Cores
+			if host {
+				active--
+			}
+			if active < 1 {
+				active = 1
+			}
+			seed++
+			k := &bench.SocketKernel{
+				Socket: sock, Active: active, BlockSize: node.BlockSize,
+				Noise: stats.NewNoise(seed, opts.NoiseSigma),
+			}
+			model, _, err := bench.BuildModel(k, sizes, bopts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: socket %d (%d cores): %w", s, active, err)
+			}
+			if host {
+				m.SocketHost[s] = model
+			} else {
+				m.SocketFull[s] = model
+			}
+		}
+	}
+	for g, gpu := range node.GPUs {
+		seed++
+		k := &bench.GPUKernel{
+			GPU: gpu, Version: opts.Version,
+			BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
+			Noise:     stats.NewNoise(seed, opts.NoiseSigma),
+			OutOfCore: opts.Version != gpukernel.V1,
+		}
+		model, _, err := bench.BuildModel(k, sizes, bopts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gpu %d (%s): %w", g, gpu.Name, err)
+		}
+		m.GPU[g] = model
+	}
+	return m, nil
+}
+
+// Devices returns the partitioning devices of a hybrid run, in the fixed
+// order GPUs (node order) then sockets (node order). Socket devices use the
+// host model on sockets that drive a GPU. GPU devices carry a memory cap
+// only when the models were built for the in-core kernel (version 1).
+func (m *Models) Devices() []partition.Device {
+	gpuOnSocket := map[int]bool{}
+	for _, s := range m.Node.GPUSocket {
+		gpuOnSocket[s] = true
+	}
+	var devs []partition.Device
+	for g, gpu := range m.Node.GPUs {
+		var cap float64
+		if m.Version == gpukernel.V1 {
+			cap = m.Node.GPUMemBlocks(g)
+		}
+		devs = append(devs, partition.Device{Name: gpu.Name, Model: m.GPU[g], MaxUnits: cap})
+	}
+	for s := range m.Node.Sockets {
+		model := m.SocketFull[s]
+		name := fmt.Sprintf("S%d", m.Node.Sockets[s].Cores)
+		if gpuOnSocket[s] {
+			model = m.SocketHost[s]
+			name = fmt.Sprintf("S%d", m.Node.Sockets[s].Cores-1)
+		}
+		devs = append(devs, partition.Device{Name: fmt.Sprintf("%s/socket%d", name, s), Model: model})
+	}
+	return devs
+}
+
+// CPMDevices returns the same devices with constant models probed at
+// refUnits — the paper's CPM baseline, whose constants come from
+// measurements at one (evenly distributed) workload.
+func (m *Models) CPMDevices(refUnits float64) ([]partition.Device, error) {
+	devs := m.Devices()
+	out := make([]partition.Device, len(devs))
+	for i, d := range devs {
+		c, err := fpm.ConstantFrom(d.Model, refUnits)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = partition.Device{Name: d.Name, Model: c, MaxUnits: d.MaxUnits}
+	}
+	return out, nil
+}
+
+// ProcessShares expands per-device work (in the Devices() order) into
+// per-process relative areas matching app.Processes(node, Hybrid) order:
+// each socket's share is split evenly among its CPU processes.
+func (m *Models) ProcessShares(procs []app.Process, units []int) ([]float64, error) {
+	devs := m.Devices()
+	if len(units) != len(devs) {
+		return nil, fmt.Errorf("experiments: %d unit counts for %d devices", len(units), len(devs))
+	}
+	nGPUs := len(m.Node.GPUs)
+	active := app.ActiveCPUCores(m.Node, procs)
+	shares := make([]float64, len(procs))
+	for i, p := range procs {
+		switch p.Kind {
+		case app.GPUHost:
+			shares[i] = float64(units[p.GPU])
+		case app.CPUCore:
+			if active[p.Socket] == 0 {
+				return nil, fmt.Errorf("experiments: socket %d has no active cores", p.Socket)
+			}
+			shares[i] = float64(units[nGPUs+p.Socket]) / float64(active[p.Socket])
+		}
+		if shares[i] <= 0 {
+			// The layout requires positive areas; give starved processes a
+			// token sliver (they will round to near-zero rectangles).
+			shares[i] = 1e-6
+		}
+	}
+	return shares, nil
+}
+
+// HybridLayout partitions an n×n-block problem over the node's processes
+// using the given partitioner output and returns the block layout in
+// process order.
+func (m *Models) HybridLayout(procs []app.Process, units []int, n int) (*layout.BlockLayout, error) {
+	shares, err := m.ProcessShares(procs, units)
+	if err != nil {
+		return nil, err
+	}
+	l, err := layout.Continuous(shares)
+	if err != nil {
+		return nil, err
+	}
+	return l.Discretize(n)
+}
+
+// GFlops converts an FPM speed (blocks/second) into Gflop/s for display.
+func (m *Models) GFlops(blocksPerSec float64) float64 {
+	return blocksPerSec * m.Node.BlockFlops() / 1e9
+}
+
+// MemLimitBlocks returns GPU g's device memory expressed in blocks — the
+// vertical "memory limit" line of Figure 3.
+func (m *Models) MemLimitBlocks(g int) float64 {
+	return math.Floor(m.Node.GPUMemBlocks(g))
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"fpmpart/internal/hw"
+)
+
+// Runner produces one experiment's table on the given node.
+type Runner func(node *hw.Node, opts ModelOptions) (*Table, error)
+
+// withModels adapts an experiment that consumes prebuilt models.
+func withModels(f func(*Models) (*Table, error)) Runner {
+	return func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		models, err := BuildModels(node, opts)
+		if err != nil {
+			return nil, err
+		}
+		return f(models)
+	}
+}
+
+// registry maps experiment IDs to runners. Every table and figure of the
+// paper's evaluation has an entry, plus the ablations.
+var registry = map[string]Runner{
+	"figure2": Figure2,
+	"figure3": Figure3,
+	"figure4": Figure4,
+	"figure5": Figure5,
+	"figure6": withModels(func(m *Models) (*Table, error) { return Figure6(m, 60) }),
+	"figure7": withModels(func(m *Models) (*Table, error) { return Figure7(m, nil) }),
+	"table1":  Table1,
+	"table2":  withModels(func(m *Models) (*Table, error) { return Table2(m, nil) }),
+	"table3":  withModels(func(m *Models) (*Table, error) { return Table3(m, nil) }),
+	"ablation-partitioners": withModels(func(m *Models) (*Table, error) {
+		return AblationPartitioners(m, nil)
+	}),
+	"ablation-kernels": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		return AblationKernelVersions(node, nil, opts)
+	},
+	"ablation-dma":            AblationDMAEngines,
+	"ablation-model-accuracy": AblationModelAccuracy,
+	"ablation-noise": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		return AblationNoise(node, 60, opts)
+	},
+	"ablation-contention-models": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		return AblationContentionModels(node, nil, opts)
+	},
+	"ablation-layout": withModels(func(m *Models) (*Table, error) {
+		return AblationLayout(m, nil)
+	}),
+	"ablation-dynamic": withModels(func(m *Models) (*Table, error) {
+		return AblationDynamic(m, 60, 0)
+	}),
+	"ablation-comm": withModels(func(m *Models) (*Table, error) {
+		return AblationCommModels(m, nil)
+	}),
+	"ablation-socket-fpm": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		return AblationSocketFPM(node, opts)
+	},
+	"ablation-blocking": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		return AblationBlockingFactor(node, nil, 60, opts)
+	},
+	"cluster-scaling": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		return ClusterScaling(node, 80, opts)
+	},
+}
+
+// Names lists the registered experiment IDs in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment on the node.
+func Run(name string, node *hw.Node, opts ModelOptions) (*Table, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(node, opts)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fpmpart/internal/hw"
+)
+
+// Table1 renders the platform specification (the paper's Table I) from the
+// node model, so the modelled hardware parameters are inspectable alongside
+// the experiments they drive.
+func Table1(node *hw.Node, _ ModelOptions) (*Table, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "table1",
+		Title:   fmt.Sprintf("Specification of the hybrid platform %s", node.Name),
+		Columns: []string{"component", "property", "value"},
+		Notes: []string{
+			"paper's Table I: 4 x 6-core Opteron 8439SE @2.8 GHz, 4 x 16 GB; GTX680 (1536 cores, 2048 MB, 192.3 GB/s); Tesla C870 (128 cores, 1536 MB, 76.8 GB/s)",
+		},
+	}
+	for i, s := range node.Sockets {
+		name := fmt.Sprintf("socket %d (%s)", i, s.Name)
+		t.AddRow(name, "cores", s.Cores)
+		t.AddRow(name, "peak/core", fmt.Sprintf("%.1f Gflop/s", s.PeakCoreRate/1e9))
+		t.AddRow(name, "GEMM efficiency", fmt.Sprintf("%.0f%%-%.0f%%", s.MinEff*100, s.MaxEff*100))
+		t.AddRow(name, "local memory", fmt.Sprintf("%.0f GiB", node.SocketMemBytes/hw.GiB))
+	}
+	for i, g := range node.GPUs {
+		name := fmt.Sprintf("gpu %d (%s)", i, g.Name)
+		t.AddRow(name, "device memory", fmt.Sprintf("%.0f MiB (%.0f blocks)", g.MemBytes/hw.MiB, node.GPUMemBlocks(i)))
+		t.AddRow(name, "peak GEMM rate", fmt.Sprintf("%.0f Gflop/s", g.PeakRate/1e9))
+		t.AddRow(name, "PCIe h2d/d2h", fmt.Sprintf("%.1f / %.1f GB/s", g.H2DBandwidth/1e9, g.D2HBandwidth/1e9))
+		t.AddRow(name, "DMA engines", g.DMAEngines)
+		t.AddRow(name, "host socket", node.GPUSocket[i])
+	}
+	t.AddRow("application", "blocking factor b", node.BlockSize)
+	t.AddRow("application", "precision", fmt.Sprintf("%d-byte elements", node.ElemBytes))
+	t.AddRow("application", "flops per block", fmt.Sprintf("%.3g", node.BlockFlops()))
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package fpm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TimeSample is one reliable timing of the application kernel: running a
+// problem of Size units took Seconds.
+type TimeSample struct {
+	Size    float64
+	Seconds float64
+}
+
+// FromTimings converts reliable kernel timings into a piecewise-linear FPM:
+// speed(x) = x / t(x) at each measured size.
+func FromTimings(samples []TimeSample) (*PiecewiseLinear, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("fpm: no timing samples")
+	}
+	pts := make([]Point, 0, len(samples))
+	for _, s := range samples {
+		if s.Size <= 0 || s.Seconds <= 0 || math.IsNaN(s.Seconds) || math.IsInf(s.Seconds, 0) {
+			return nil, fmt.Errorf("fpm: invalid timing sample {size %v, %vs}", s.Size, s.Seconds)
+		}
+		pts = append(pts, Point{Size: s.Size, Speed: s.Size / s.Seconds})
+	}
+	return NewPiecewiseLinear(pts)
+}
+
+// Grid returns n problem sizes spanning [lo, hi]. Spacing "linear" places
+// them uniformly; "geometric" spaces them multiplicatively, which samples
+// the small-size ramp of a speed function more densely — the standard
+// practice when building FPMs.
+func Grid(lo, hi float64, n int, spacing string) ([]float64, error) {
+	if n < 1 || lo <= 0 || hi < lo {
+		return nil, fmt.Errorf("fpm: invalid grid [%v,%v] n=%d", lo, hi, n)
+	}
+	if n == 1 {
+		return []float64{lo}, nil
+	}
+	out := make([]float64, n)
+	switch spacing {
+	case "linear", "":
+		step := (hi - lo) / float64(n-1)
+		for i := range out {
+			out[i] = lo + float64(i)*step
+		}
+	case "geometric":
+		r := math.Pow(hi/lo, 1/float64(n-1))
+		x := lo
+		for i := range out {
+			out[i] = x
+			x *= r
+		}
+		out[n-1] = hi
+	default:
+		return nil, fmt.Errorf("fpm: unknown grid spacing %q", spacing)
+	}
+	return out, nil
+}
+
+// Accuracy compares a model against reference timings and returns the mean
+// and maximum relative error of the predicted times. The paper quantifies
+// model quality this way ("... can approximate the speed of the GPU in the
+// case of resource contention with 85% accuracy").
+func Accuracy(s SpeedFunction, ref []TimeSample) (meanRelErr, maxRelErr float64, err error) {
+	if len(ref) == 0 {
+		return 0, 0, errors.New("fpm: no reference samples")
+	}
+	var sum float64
+	for _, r := range ref {
+		if r.Seconds <= 0 {
+			return 0, 0, fmt.Errorf("fpm: invalid reference time %v", r.Seconds)
+		}
+		pred := Time(s, r.Size)
+		rel := math.Abs(pred-r.Seconds) / r.Seconds
+		sum += rel
+		if rel > maxRelErr {
+			maxRelErr = rel
+		}
+	}
+	return sum / float64(len(ref)), maxRelErr, nil
+}
+
+// Merge combines several models of the same device (e.g. built in separate
+// sessions) into one by pooling their points; at duplicate sizes the
+// later-listed model wins.
+func Merge(models ...*PiecewiseLinear) (*PiecewiseLinear, error) {
+	if len(models) == 0 {
+		return nil, errors.New("fpm: nothing to merge")
+	}
+	bySize := map[float64]float64{}
+	for _, m := range models {
+		if m == nil {
+			return nil, errors.New("fpm: nil model in merge")
+		}
+		for _, p := range m.points {
+			bySize[p.Size] = p.Speed
+		}
+	}
+	pts := make([]Point, 0, len(bySize))
+	for sz, sp := range bySize {
+		pts = append(pts, Point{Size: sz, Speed: sp})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Size < pts[j].Size })
+	return NewPiecewiseLinear(pts)
+}

@@ -1,0 +1,70 @@
+package fpm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnostics for empirical models. The partitioning algorithms tolerate
+// non-monotone execution-time functions via the monotone envelope, but a
+// user should *know* when their model has such regions — they usually mark
+// memory-hierarchy transitions (interesting) or measurement problems
+// (fixable).
+
+// TimeInversion describes one region where the execution time t(x) = x/s(x)
+// decreases as the problem grows: finishing MORE work takes LESS time,
+// which a partitioner must treat specially.
+type TimeInversion struct {
+	// FromSize and ToSize are the knots bounding the inversion.
+	FromSize, ToSize float64
+	// FromTime and ToTime are the modelled times at those knots.
+	FromTime, ToTime float64
+}
+
+func (ti TimeInversion) String() string {
+	return fmt.Sprintf("t(%g)=%.4g > t(%g)=%.4g", ti.FromSize, ti.FromTime, ti.ToSize, ti.ToTime)
+}
+
+// Diagnose inspects a piecewise-linear model and reports every knot-to-knot
+// time inversion. An empty result means t(x) is non-decreasing across the
+// measured points and the envelope inversion is exact.
+func Diagnose(m *PiecewiseLinear) []TimeInversion {
+	pts := m.Points()
+	var out []TimeInversion
+	for i := 1; i < len(pts); i++ {
+		t0 := pts[i-1].Size / pts[i-1].Speed
+		t1 := pts[i].Size / pts[i].Speed
+		if t1 < t0 {
+			out = append(out, TimeInversion{
+				FromSize: pts[i-1].Size, ToSize: pts[i].Size,
+				FromTime: t0, ToTime: t1,
+			})
+		}
+	}
+	return out
+}
+
+// DescribeModel renders a short human-readable summary of a model: domain,
+// speed range, and any time inversions.
+func DescribeModel(m *PiecewiseLinear) string {
+	pts := m.Points()
+	lo, hi := m.Domain()
+	minS, maxS := pts[0].Speed, pts[0].Speed
+	for _, p := range pts {
+		if p.Speed < minS {
+			minS = p.Speed
+		}
+		if p.Speed > maxS {
+			maxS = p.Speed
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d points over [%g, %g], speed %g..%g", len(pts), lo, hi, minS, maxS)
+	if inv := Diagnose(m); len(inv) > 0 {
+		fmt.Fprintf(&b, "; %d time inversion(s):", len(inv))
+		for _, ti := range inv {
+			fmt.Fprintf(&b, " [%s]", ti)
+		}
+	}
+	return b.String()
+}

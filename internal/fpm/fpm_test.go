@@ -1,0 +1,170 @@
+package fpm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func linModel(t *testing.T) *PiecewiseLinear {
+	t.Helper()
+	m, err := NewPiecewiseLinear([]Point{
+		{Size: 10, Speed: 100},
+		{Size: 20, Speed: 200},
+		{Size: 40, Speed: 200},
+		{Size: 80, Speed: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPiecewiseLinearInterpolation(t *testing.T) {
+	m := linModel(t)
+	approx(t, m.Speed(10), 100, 1e-12, "at first knot")
+	approx(t, m.Speed(15), 150, 1e-12, "mid first segment")
+	approx(t, m.Speed(20), 200, 1e-12, "knot")
+	approx(t, m.Speed(30), 200, 1e-12, "plateau")
+	approx(t, m.Speed(60), 150, 1e-12, "declining segment")
+	approx(t, m.Speed(80), 100, 1e-12, "last knot")
+}
+
+func TestPiecewiseLinearClamping(t *testing.T) {
+	m := linModel(t)
+	approx(t, m.Speed(1), 100, 1e-12, "below domain clamps to first speed")
+	approx(t, m.Speed(1000), 100, 1e-12, "above domain clamps to last speed")
+	lo, hi := m.Domain()
+	approx(t, lo, 10, 0, "domain lo")
+	approx(t, hi, 80, 0, "domain hi")
+}
+
+func TestPiecewiseLinearUnsortedInput(t *testing.T) {
+	m, err := NewPiecewiseLinear([]Point{{Size: 40, Speed: 4}, {Size: 10, Speed: 1}, {Size: 20, Speed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := m.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Size <= pts[i-1].Size {
+			t.Fatalf("points not sorted: %+v", pts)
+		}
+	}
+}
+
+func TestPiecewiseLinearValidation(t *testing.T) {
+	bad := [][]Point{
+		nil,
+		{},
+		{{Size: -1, Speed: 5}},
+		{{Size: 0, Speed: 5}},
+		{{Size: 1, Speed: 0}},
+		{{Size: 1, Speed: -3}},
+		{{Size: 1, Speed: math.NaN()}},
+		{{Size: math.Inf(1), Speed: 3}},
+		{{Size: 5, Speed: 1}, {Size: 5, Speed: 2}}, // duplicate size
+	}
+	for i, pts := range bad {
+		if _, err := NewPiecewiseLinear(pts); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, pts)
+		}
+	}
+}
+
+func TestMustPiecewiseLinearPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustPiecewiseLinear(nil)
+}
+
+func TestPointsIsACopy(t *testing.T) {
+	m := linModel(t)
+	p := m.Points()
+	p[0].Speed = 1e9
+	if m.Speed(10) != 100 {
+		t.Error("Points() must return a copy")
+	}
+}
+
+func TestTimeFunction(t *testing.T) {
+	m := linModel(t)
+	approx(t, Time(m, 20), 0.1, 1e-12, "t(20)=20/200")
+	approx(t, Time(m, 0), 0, 0, "t(0)=0")
+	approx(t, Time(m, -5), 0, 0, "t(<0)=0")
+}
+
+func TestConstantModel(t *testing.T) {
+	c, err := NewConstant(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, 10, 1e6} {
+		approx(t, c.Speed(x), 50, 0, "constant speed")
+	}
+	lo, hi := c.Domain()
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Errorf("domain = (%v, %v)", lo, hi)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewConstant(bad); err == nil {
+			t.Errorf("expected error for speed %v", bad)
+		}
+	}
+}
+
+func TestConstantFrom(t *testing.T) {
+	m := linModel(t)
+	c, err := ConstantFrom(m, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, c.S, 200, 1e-12, "CPM probed at reference size")
+	// The CPM then *mispredicts* other sizes — that is the paper's point.
+	approx(t, c.Speed(80), 200, 0, "CPM at 80 (true speed is 100)")
+}
+
+func TestScaledModel(t *testing.T) {
+	m := linModel(t)
+	s := Scaled{Base: m, Factor: 0.85}
+	approx(t, s.Speed(20), 170, 1e-12, "scaled speed")
+	lo, hi := s.Domain()
+	if lo != 10 || hi != 80 {
+		t.Errorf("scaled domain = (%v,%v)", lo, hi)
+	}
+}
+
+// Property: interpolation stays within the bounding speeds of its segment.
+func TestInterpolationBoundsProperty(t *testing.T) {
+	m := linModel(t)
+	f := func(raw uint32) bool {
+		x := 10 + 70*float64(raw)/float64(math.MaxUint32)
+		s := m.Speed(x)
+		return s >= 100-1e-9 && s <= 200+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Speed is continuous — nearby sizes give nearby speeds.
+func TestSpeedContinuityProperty(t *testing.T) {
+	m := linModel(t)
+	f := func(raw uint32) bool {
+		x := 10 + 69*float64(raw)/float64(math.MaxUint32)
+		d := 1e-6
+		return math.Abs(m.Speed(x+d)-m.Speed(x)) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

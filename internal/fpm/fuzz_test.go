@@ -1,0 +1,68 @@
+package fpm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that the model-file parser never panics and that
+// anything it accepts is a valid model that round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("10 100\n20 200\n")
+	f.Add("# comment\n\n1 2\n")
+	f.Add("a b\n")
+	f.Add("10\n")
+	f.Add("1e300 1e300\n2e300 1\n")
+	f.Add("10 -5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted models must be internally valid...
+		lo, hi := m.Domain()
+		if !(lo > 0) || !(hi >= lo) {
+			t.Fatalf("accepted model with bad domain (%v, %v) from %q", lo, hi, input)
+		}
+		if s := m.Speed((lo + hi) / 2); !(s > 0) || math.IsInf(s, 0) {
+			t.Fatalf("accepted model with bad speed %v from %q", s, input)
+		}
+		// ...and round-trip through the writer.
+		var buf bytes.Buffer
+		if err := m.WriteText(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		for _, x := range []float64{lo, (lo + hi) / 2, hi} {
+			a, b := m.Speed(x), back.Speed(x)
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				t.Fatalf("round trip changed speed(%v): %v vs %v", x, a, b)
+			}
+		}
+	})
+}
+
+// FuzzPiecewiseLinear checks constructor robustness and interpolation
+// bounds for arbitrary point sets.
+func FuzzPiecewiseLinear(f *testing.F) {
+	f.Add(10.0, 100.0, 20.0, 200.0, 15.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0)
+	f.Add(0.0, 5.0, 3.0, -1.0, 2.0)
+	f.Fuzz(func(t *testing.T, x1, s1, x2, s2, q float64) {
+		m, err := NewPiecewiseLinear([]Point{{Size: x1, Speed: s1}, {Size: x2, Speed: s2}})
+		if err != nil {
+			return
+		}
+		got := m.Speed(q)
+		lo := math.Min(s1, s2)
+		hi := math.Max(s1, s2)
+		if math.IsNaN(got) || got < lo-1e-9 || got > hi+1e-9 {
+			t.Fatalf("Speed(%v) = %v outside [%v, %v]", q, got, lo, hi)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package fpm
+
+import (
+	"math"
+)
+
+// The FPM-based data partitioning algorithm needs, for each device, the
+// inverse of the execution-time function t(x) = x/s(x): given a deadline T,
+// how much work can the device complete in time T?
+//
+// For well-behaved speed functions t(x) is increasing, but empirical GPU
+// models have jumps (e.g. the out-of-core cliff in Figure 3 of the paper)
+// that can make t locally non-monotone. We therefore invert the monotone
+// envelope tm(x) = max_{y<=x} t(y): the largest x whose envelope time is
+// within T. This matches the partitioning semantics — a device is assigned
+// the most work it can finish by T.
+
+// TimeInverter answers "largest x with time(x) <= T" queries for one model.
+type TimeInverter struct {
+	s SpeedFunction
+	// cap limits the assignable size (e.g. GPU memory limit). +Inf if none.
+	cap float64
+	// searchMax bounds the bisection; beyond the model domain speed is
+	// clamped so time is strictly increasing there and any T is reachable.
+	searchHint float64
+}
+
+// NewTimeInverter builds an inverter for model s with an optional size cap
+// (pass +Inf or 0 for none).
+func NewTimeInverter(s SpeedFunction, sizeCap float64) *TimeInverter {
+	if sizeCap <= 0 {
+		sizeCap = math.Inf(1)
+	}
+	_, dmax := s.Domain()
+	hint := dmax
+	if math.IsInf(hint, 1) || hint <= 0 {
+		hint = 1
+	}
+	return &TimeInverter{s: s, cap: sizeCap, searchHint: hint}
+}
+
+// Cap returns the size cap (possibly +Inf).
+func (inv *TimeInverter) Cap() float64 { return inv.cap }
+
+// envelopeTime returns max over y in (0, x] of Time(s, y), evaluated on a
+// fine grid plus the exact endpoints; for piecewise-linear speed models the
+// extrema of x/s(x) lie at knots or within single segments where the
+// function is monotone in between knots' ratio, so sampling knots is exact
+// enough for partitioning purposes.
+func (inv *TimeInverter) envelopeTime(x float64) float64 {
+	t := Time(inv.s, x)
+	if pl, ok := inv.s.(*PiecewiseLinear); ok {
+		for _, p := range pl.points {
+			if p.Size >= x {
+				break
+			}
+			if pt := Time(inv.s, p.Size); pt > t {
+				t = pt
+			}
+		}
+	}
+	return t
+}
+
+// SizeFor returns the largest x (0 <= x <= cap) such that the monotone
+// envelope of the execution time does not exceed T. SizeFor(0) = 0.
+func (inv *TimeInverter) SizeFor(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	if math.IsInf(T, 1) {
+		return inv.cap
+	}
+	// Establish an upper bracket: grow until time exceeds T or the cap is
+	// reached. Beyond the model domain the speed is clamped to a constant,
+	// so time grows linearly and the loop terminates.
+	hi := inv.searchHint
+	if hi > inv.cap {
+		hi = inv.cap
+	}
+	for inv.envelopeTime(hi) <= T {
+		if hi >= inv.cap {
+			return inv.cap
+		}
+		hi *= 2
+		if hi > inv.cap {
+			hi = inv.cap
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if inv.envelopeTime(mid) <= T {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-9*(1+hi) {
+			break
+		}
+	}
+	return lo
+}

@@ -1,0 +1,85 @@
+package fpm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverterConstantModel(t *testing.T) {
+	c, _ := NewConstant(10) // time(x) = x/10
+	inv := NewTimeInverter(c, 0)
+	approx(t, inv.SizeFor(1), 10, 1e-6, "T=1")
+	approx(t, inv.SizeFor(2.5), 25, 1e-5, "T=2.5")
+	approx(t, inv.SizeFor(0), 0, 0, "T=0")
+	approx(t, inv.SizeFor(-1), 0, 0, "T<0")
+}
+
+func TestInverterRespectsCap(t *testing.T) {
+	c, _ := NewConstant(10)
+	inv := NewTimeInverter(c, 7)
+	approx(t, inv.SizeFor(100), 7, 0, "cap binds")
+	approx(t, inv.SizeFor(math.Inf(1)), 7, 0, "infinite deadline returns cap")
+	if inv.Cap() != 7 {
+		t.Errorf("Cap = %v", inv.Cap())
+	}
+	// No cap => +Inf.
+	if !math.IsInf(NewTimeInverter(c, 0).Cap(), 1) {
+		t.Error("zero cap should mean no cap")
+	}
+}
+
+func TestInverterPiecewiseLinear(t *testing.T) {
+	// Speed 100 flat: time(x) = x/100.
+	m := MustPiecewiseLinear([]Point{{Size: 10, Speed: 100}, {Size: 1000, Speed: 100}})
+	inv := NewTimeInverter(m, 0)
+	approx(t, inv.SizeFor(2), 200, 1e-4, "flat model invert")
+	// Beyond the domain speed clamps to 100, so large T still works.
+	approx(t, inv.SizeFor(100), 10000, 1e-2, "beyond domain")
+}
+
+func TestInverterNonMonotoneTime(t *testing.T) {
+	// A cliff like the GPU out-of-core transition: speed halves at x=100,
+	// making t(x) jump from 100/200=0.5 to ~100/100=1.0. Just after the
+	// cliff there are sizes x where t(x) < t at slightly smaller sizes never
+	// happens here, but consider speed spike: time dips. Build a model where
+	// t is non-monotone: s: (10,10) -> t=1 ; (20, 40) -> t=0.5 ; (40,40) -> t=1.
+	m := MustPiecewiseLinear([]Point{{Size: 10, Speed: 10}, {Size: 20, Speed: 40}, {Size: 40, Speed: 40}})
+	inv := NewTimeInverter(m, 0)
+	// t(10)=1, t(20)=0.5, t(40)=1. Envelope time at x=20 is max(t up to 20)=1.
+	// So SizeFor(0.9) must NOT return ~20 even though t(20)=0.5<=0.9; the
+	// envelope keeps the answer below 10 (where t first reaches 0.9).
+	got := inv.SizeFor(0.9)
+	if got >= 10 {
+		t.Errorf("envelope violated: SizeFor(0.9) = %v, want < 10", got)
+	}
+	// With T=1.0 every measured size is reachable; answer >= 40.
+	if got := inv.SizeFor(1.0); got < 40-1e-6 {
+		t.Errorf("SizeFor(1.0) = %v, want >= 40", got)
+	}
+}
+
+// Property: SizeFor is monotone non-decreasing in T and the returned size's
+// envelope time never exceeds T (for sane models).
+func TestInverterMonotoneProperty(t *testing.T) {
+	m := MustPiecewiseLinear([]Point{
+		{Size: 5, Speed: 50}, {Size: 50, Speed: 120}, {Size: 100, Speed: 90}, {Size: 200, Speed: 60},
+	})
+	inv := NewTimeInverter(m, 500)
+	f := func(a, b uint16) bool {
+		t1 := float64(a)/65535*5 + 1e-6
+		t2 := float64(b)/65535*5 + 1e-6
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		x1, x2 := inv.SizeFor(t1), inv.SizeFor(t2)
+		if x1 > x2+1e-6 {
+			return false
+		}
+		// Feasibility: achieved envelope time within T (allowing bisection slack).
+		return inv.envelopeTime(x1) <= t1*(1+1e-6)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

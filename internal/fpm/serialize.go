@@ -1,0 +1,90 @@
+package fpm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialisation of models. Two formats are provided:
+//
+//   - JSON, for programmatic exchange;
+//   - a plain-text two-column format ("size speed" per line, '#' comments),
+//     compatible in spirit with the fupermod performance-model files the
+//     paper's research software used.
+
+// modelJSON is the wire form of a piecewise-linear model.
+type modelJSON struct {
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// MarshalJSON encodes the model.
+func (m *PiecewiseLinear) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{Kind: "piecewise-linear", Points: m.points})
+}
+
+// UnmarshalJSON decodes and validates a model.
+func (m *PiecewiseLinear) UnmarshalJSON(data []byte) error {
+	var w modelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Kind != "" && w.Kind != "piecewise-linear" {
+		return fmt.Errorf("fpm: unexpected model kind %q", w.Kind)
+	}
+	built, err := NewPiecewiseLinear(w.Points)
+	if err != nil {
+		return err
+	}
+	*m = *built
+	return nil
+}
+
+// WriteText writes the model in the two-column text format.
+func (m *PiecewiseLinear) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# size speed  (functional performance model)"); err != nil {
+		return err
+	}
+	for _, p := range m.points {
+		if _, err := fmt.Fprintf(bw, "%g %g\n", p.Size, p.Speed); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the two-column text format written by WriteText.
+func ReadText(r io.Reader) (*PiecewiseLinear, error) {
+	sc := bufio.NewScanner(r)
+	var pts []Point
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fpm: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		size, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fpm: line %d: bad size: %w", line, err)
+		}
+		speed, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fpm: line %d: bad speed: %w", line, err)
+		}
+		pts = append(pts, Point{Size: size, Speed: speed})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewPiecewiseLinear(pts)
+}

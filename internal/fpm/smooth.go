@@ -1,0 +1,40 @@
+package fpm
+
+import (
+	"fmt"
+)
+
+// Smooth returns a new piecewise-linear model whose speeds are a centred
+// moving average of the input's (window points each side, clamped at the
+// ends). Empirical speed functions built from noisy measurements can wiggle
+// enough to create spurious local time-inversions; a light smoothing pass
+// removes measurement ripple while preserving genuine features like memory
+// cliffs (which span many points).
+func Smooth(m *PiecewiseLinear, window int) (*PiecewiseLinear, error) {
+	if m == nil {
+		return nil, fmt.Errorf("fpm: nil model")
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("fpm: negative window %d", window)
+	}
+	pts := m.Points()
+	if window == 0 || len(pts) < 3 {
+		return NewPiecewiseLinear(pts)
+	}
+	out := make([]Point, len(pts))
+	for i := range pts {
+		lo, hi := i-window, i+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(pts)-1 {
+			hi = len(pts) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += pts[j].Speed
+		}
+		out[i] = Point{Size: pts[i].Size, Speed: sum / float64(hi-lo+1)}
+	}
+	return NewPiecewiseLinear(out)
+}

@@ -1,0 +1,142 @@
+// Package matrix provides dense single-precision matrices for the real
+// (non-simulated) execution path of the heterogeneous matrix multiplication
+// application. Single precision matches the paper's experiments.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix of float32 values. A Dense may be a
+// view into a larger matrix (Stride > Cols); views share storage.
+type Dense struct {
+	Rows, Cols int
+	// Stride is the distance in elements between vertically adjacent
+	// elements (>= Cols).
+	Stride int
+	Data   []float32
+}
+
+// New allocates a zeroed rows×cols matrix.
+func New(rows, cols int) (*Dense, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %dx%d", rows, cols)
+	}
+	return &Dense{Rows: rows, Cols: cols, Stride: cols, Data: make([]float32, rows*cols)}, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(rows, cols int) *Dense {
+	m, err := New(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// At returns element (i, j). Bounds are the caller's responsibility in the
+// hot path; use CheckedAt for safe access.
+func (m *Dense) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// CheckedAt returns element (i, j) with bounds checking.
+func (m *Dense) CheckedAt(i, j int) (float32, error) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		return 0, fmt.Errorf("matrix: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols)
+	}
+	return m.At(i, j), nil
+}
+
+// View returns a sub-matrix sharing storage with m: rows [i, i+rows) and
+// columns [j, j+cols).
+func (m *Dense) View(i, j, rows, cols int) (*Dense, error) {
+	if i < 0 || j < 0 || rows <= 0 || cols <= 0 || i+rows > m.Rows || j+cols > m.Cols {
+		return nil, fmt.Errorf("matrix: view (%d,%d,%d,%d) out of %dx%d", i, j, rows, cols, m.Rows, m.Cols)
+	}
+	return &Dense{
+		Rows: rows, Cols: cols, Stride: m.Stride,
+		Data: m.Data[i*m.Stride+j:],
+	}, nil
+}
+
+// Clone returns a compact deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := MustNew(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Stride:i*out.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// FillRandom fills m with reproducible uniform values in [-1, 1).
+func (m *Dense) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = float32(rng.Float64()*2 - 1)
+		}
+	}
+}
+
+// FillConstant sets every element to v.
+func (m *Dense) FillConstant(v float32) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() { m.FillConstant(0) }
+
+// EqualWithin reports whether a and b have the same shape and all elements
+// differ by at most tol.
+func EqualWithin(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if math.Abs(float64(a.At(i, j))-float64(b.At(i, j))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference, or +Inf
+// on shape mismatch.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := math.Abs(float64(a.At(i, j)) - float64(b.At(i, j))); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := float64(m.At(i, j))
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range [][2]int{{0, 5}, {5, 0}, {-1, 5}, {5, -1}} {
+		if _, err := New(c[0], c[1]); err == nil {
+			t.Errorf("New(%d,%d) should fail", c[0], c[1])
+		}
+	}
+	m, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 || len(m.Data) != 12 {
+		t.Errorf("bad matrix %+v", m)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestAtSetAndChecked(t *testing.T) {
+	m := MustNew(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Error("Set/At round trip failed")
+	}
+	if v, err := m.CheckedAt(1, 2); err != nil || v != 7.5 {
+		t.Errorf("CheckedAt = %v, %v", v, err)
+	}
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 3}} {
+		if _, err := m.CheckedAt(c[0], c[1]); err == nil {
+			t.Errorf("CheckedAt(%d,%d) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := MustNew(4, 4)
+	v, err := m.View(1, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Set(0, 0, 42)
+	if m.At(1, 1) != 42 {
+		t.Error("view write not visible in parent")
+	}
+	if v.Rows != 2 || v.Cols != 2 || v.Stride != 4 {
+		t.Errorf("view shape %+v", v)
+	}
+	for _, c := range [][4]int{{-1, 0, 2, 2}, {0, 0, 5, 1}, {3, 3, 2, 2}, {0, 0, 0, 1}} {
+		if _, err := m.View(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("View%v should fail", c)
+		}
+	}
+}
+
+func TestCloneIsDeepAndCompact(t *testing.T) {
+	m := MustNew(4, 4)
+	m.FillRandom(1)
+	v, _ := m.View(1, 1, 2, 2)
+	c := v.Clone()
+	if c.Stride != c.Cols {
+		t.Error("clone should be compact")
+	}
+	if !EqualWithin(c, v, 0) {
+		t.Error("clone differs from source")
+	}
+	c.Set(0, 0, 99)
+	if m.At(1, 1) == 99 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestFillAndNorm(t *testing.T) {
+	m := MustNew(3, 3)
+	m.FillConstant(2)
+	if got, want := m.FrobeniusNorm(), math.Sqrt(9*4.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("norm = %v, want %v", got, want)
+	}
+	m.Zero()
+	if m.FrobeniusNorm() != 0 {
+		t.Error("Zero did not clear")
+	}
+	// Random fill reproducible by seed and within range.
+	a, b := MustNew(5, 5), MustNew(5, 5)
+	a.FillRandom(42)
+	b.FillRandom(42)
+	if !EqualWithin(a, b, 0) {
+		t.Error("same-seed fills differ")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("random value %v out of [-1,1)", v)
+		}
+	}
+}
+
+func TestEqualWithinAndDiff(t *testing.T) {
+	a, b := MustNew(2, 2), MustNew(2, 2)
+	a.FillConstant(1)
+	b.FillConstant(1.05)
+	if EqualWithin(a, b, 0.01) {
+		t.Error("should differ at tol 0.01")
+	}
+	if !EqualWithin(a, b, 0.1) {
+		t.Error("should match at tol 0.1")
+	}
+	if got := MaxAbsDiff(a, b); math.Abs(got-0.05) > 1e-6 {
+		t.Errorf("MaxAbsDiff = %v", got)
+	}
+	c := MustNew(2, 3)
+	if EqualWithin(a, c, 1e9) {
+		t.Error("shape mismatch should not be equal")
+	}
+	if !math.IsInf(MaxAbsDiff(a, c), 1) {
+		t.Error("shape mismatch diff should be +Inf")
+	}
+}
+
+// Property: views never read or write outside their window.
+func TestViewIsolationProperty(t *testing.T) {
+	f := func(seed int64, i, j, r, c uint8) bool {
+		m := MustNew(8, 8)
+		m.FillRandom(seed)
+		orig := m.Clone()
+		vi, vj := int(i%6), int(j%6)
+		vr, vc := int(r%2)+1, int(c%2)+1
+		v, err := m.View(vi, vj, vr, vc)
+		if err != nil {
+			return false
+		}
+		v.FillConstant(123)
+		// Everything outside the window must be untouched.
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				inside := y >= vi && y < vi+vr && x >= vj && x < vj+vc
+				if inside {
+					if m.At(y, x) != 123 {
+						return false
+					}
+				} else if m.At(y, x) != orig.At(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

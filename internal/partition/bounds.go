@@ -1,0 +1,89 @@
+package partition
+
+import (
+	"fmt"
+)
+
+// Bounded partitioning: real deployments often need per-device floors —
+// every process must receive enough work to justify its startup cost, or a
+// device must hold a pinned fraction of the data. FPMWithFloors extends the
+// equal-time solve with per-device minimum allocations while keeping the
+// capacity caps of Device.MaxUnits.
+
+// Floors lists per-device minimum units (0 = none); index-aligned with the
+// device slice.
+type Floors []int
+
+// Validate checks the floors against the devices and problem size.
+func (f Floors) Validate(devices []Device, n int) error {
+	if len(f) != len(devices) {
+		return fmt.Errorf("partition: %d floors for %d devices", len(f), len(devices))
+	}
+	total := 0
+	for i, m := range f {
+		if m < 0 {
+			return fmt.Errorf("partition: negative floor %d at device %d", m, i)
+		}
+		if devices[i].MaxUnits > 0 && float64(m) > devices[i].MaxUnits {
+			return fmt.Errorf("partition: floor %d exceeds device %s's cap %v", m, devices[i].Name, devices[i].MaxUnits)
+		}
+		total += m
+	}
+	if total > n {
+		return fmt.Errorf("partition: floors sum to %d > problem size %d", total, n)
+	}
+	return nil
+}
+
+// FPMWithFloors solves the equal-time FPM partitioning subject to
+// per-device minimum allocations: devices whose unconstrained equal-time
+// share falls below their floor are pinned at the floor (they will finish
+// early), and the remainder is re-balanced across the rest. The fixpoint
+// terminates in at most p rounds because pinned devices stay pinned — the
+// standard treatment of lower bounds in max-min fair allocation.
+func FPMWithFloors(devices []Device, n int, floors Floors, opts FPMOptions) (Result, error) {
+	if err := validate(devices, n); err != nil {
+		return Result{}, err
+	}
+	if err := floors.Validate(devices, n); err != nil {
+		return Result{}, err
+	}
+	pinned := make([]bool, len(devices))
+	units := make([]int, len(devices))
+	for round := 0; round < len(devices)+1; round++ {
+		// Solve for the unpinned devices and the remaining work.
+		var free []Device
+		var freeIdx []int
+		remaining := n
+		for i, d := range devices {
+			if pinned[i] {
+				remaining -= units[i]
+				continue
+			}
+			free = append(free, d)
+			freeIdx = append(freeIdx, i)
+		}
+		if len(free) == 0 {
+			break
+		}
+		res, err := FPM(free, remaining, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		newlyPinned := false
+		for j, i := range freeIdx {
+			u := res.Assignments[j].Units
+			if u < floors[i] {
+				units[i] = floors[i]
+				pinned[i] = true
+				newlyPinned = true
+			} else {
+				units[i] = u
+			}
+		}
+		if !newlyPinned {
+			break
+		}
+	}
+	return finish(devices, units), nil
+}

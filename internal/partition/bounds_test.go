@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFloorsValidate(t *testing.T) {
+	devs := []Device{constDev("a", 10, 0), constDev("b", 10, 5)}
+	cases := []struct {
+		floors Floors
+		n      int
+		ok     bool
+	}{
+		{Floors{0, 0}, 10, true},
+		{Floors{3, 2}, 10, true},
+		{Floors{0}, 10, false},     // wrong length
+		{Floors{-1, 0}, 10, false}, // negative
+		{Floors{0, 6}, 10, false},  // exceeds device b's cap of 5
+		{Floors{8, 3}, 10, false},  // sum exceeds n
+		{Floors{10, 0}, 10, true},  // exactly n
+	}
+	for i, c := range cases {
+		err := c.floors.Validate(devs, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d (%v): err = %v, ok = %v", i, c.floors, err, c.ok)
+		}
+	}
+}
+
+func TestFPMWithFloorsNoBindingFloorsMatchesPlain(t *testing.T) {
+	devs := []Device{constDev("a", 30, 0), constDev("b", 10, 0)}
+	plain, err := FPM(devs, 1000, FPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floored, err := FPMWithFloors(devs, 1000, Floors{10, 10}, FPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range devs {
+		if plain.Units()[i] != floored.Units()[i] {
+			t.Errorf("non-binding floors changed the result: %v vs %v", plain.Units(), floored.Units())
+		}
+	}
+}
+
+func TestFPMWithFloorsPinsSlowDevice(t *testing.T) {
+	// Device b is so slow it would get ≈3% of the work; force it to 30%.
+	devs := []Device{constDev("a", 97, 0), constDev("b", 3, 0)}
+	res, err := FPMWithFloors(devs, 1000, Floors{0, 300}, FPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Units()
+	if u[1] != 300 {
+		t.Errorf("floored device got %d, want exactly 300", u[1])
+	}
+	if u[0] != 700 {
+		t.Errorf("free device got %d, want 700", u[0])
+	}
+}
+
+func TestFPMWithFloorsCascade(t *testing.T) {
+	// Two slow devices with floors: pinning one must not starve the other's
+	// floor (the fixpoint re-checks).
+	devs := []Device{constDev("fast", 100, 0), constDev("s1", 1, 0), constDev("s2", 1, 0)}
+	res, err := FPMWithFloors(devs, 1000, Floors{0, 200, 200}, FPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Units()
+	if u[1] != 200 || u[2] != 200 {
+		t.Errorf("floors not honoured: %v", u)
+	}
+	if u[0] != 600 {
+		t.Errorf("free device got %d, want 600", u[0])
+	}
+}
+
+func TestFPMWithFloorsErrors(t *testing.T) {
+	devs := []Device{constDev("a", 1, 0)}
+	if _, err := FPMWithFloors(devs, -1, Floors{0}, FPMOptions{}); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := FPMWithFloors(devs, 10, Floors{}, FPMOptions{}); err == nil {
+		t.Error("wrong floors length accepted")
+	}
+	if _, err := FPMWithFloors(nil, 10, Floors{}, FPMOptions{}); err == nil {
+		t.Error("no devices accepted")
+	}
+}
+
+// Property: the result sums to n, honours every floor and every cap.
+func TestFPMWithFloorsProperty(t *testing.T) {
+	f := func(nRaw uint16, s1, s2, s3, f1, f2, f3 uint8) bool {
+		n := int(nRaw)%5000 + 100
+		devs := []Device{
+			constDev("a", 10+float64(s1), 0),
+			constDev("b", 10+float64(s2), 0),
+			constDev("c", 10+float64(s3), 0),
+		}
+		floors := Floors{
+			int(f1) % (n / 4), int(f2) % (n / 4), int(f3) % (n / 4),
+		}
+		res, err := FPMWithFloors(devs, n, floors, FPMOptions{})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, u := range res.Units() {
+			if u < floors[i] {
+				return false
+			}
+			total += u
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"fpmpart/internal/fpm"
+)
+
+// FPMOptions tunes the FPM-based partitioner.
+type FPMOptions struct {
+	// Tolerance is the relative tolerance on the total size when bisecting
+	// the common completion time. Default 1e-9.
+	Tolerance float64
+	// MaxIterations bounds the bisection. Default 200.
+	MaxIterations int
+}
+
+func (o FPMOptions) withDefaults() FPMOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	return o
+}
+
+// FPM runs the FPM-based data partitioning algorithm: it finds the common
+// completion time T* such that the devices, each loaded with the most work
+// it can finish within T*, together absorb exactly n units, then assigns
+// x_i = x_i(T*) rounded to integers.
+//
+// The search is a bisection on T of the monotone non-decreasing function
+// total(T) = Σ_i x_i(T), where x_i(T) inverts the monotone envelope of the
+// device's execution-time function (see fpm.TimeInverter). This is
+// equivalent to the geometric line-rotation formulation of Lastovetsky &
+// Reddy 2007: a line through the origin with slope n/T intersects the speed
+// functions at the balanced distribution.
+func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
+	if err := validate(devices, n); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	if n == 0 {
+		return finish(devices, make([]int, len(devices))), nil
+	}
+
+	invs := make([]*fpm.TimeInverter, len(devices))
+	for i, d := range devices {
+		invs[i] = fpm.NewTimeInverter(d.Model, d.MaxUnits)
+	}
+	total := func(T float64) float64 {
+		var s float64
+		for _, inv := range invs {
+			s += inv.SizeFor(T)
+		}
+		return s
+	}
+
+	// Bracket T*: start from the time the fastest single device would need
+	// for the whole problem, which is always an upper bound... only if that
+	// device can hold n. More robustly: grow hi until total(hi) >= n.
+	hi := 1e-6
+	for total(hi) < float64(n) {
+		hi *= 2
+		if hi > 1e18 {
+			return Result{}, fmt.Errorf("partition: FPM bisection failed to bracket n=%d (capacity too small?)", n)
+		}
+	}
+	lo := 0.0
+	target := float64(n)
+	for i := 0; i < opts.MaxIterations; i++ {
+		mid := (lo + hi) / 2
+		if total(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= opts.Tolerance*(1+hi) {
+			break
+		}
+	}
+	T := hi // smallest bracketed time with total(T) >= n
+
+	shares := make([]float64, len(devices))
+	for i, inv := range invs {
+		shares[i] = inv.SizeFor(T)
+	}
+	// The continuous shares sum to >= n (within tolerance); scale down any
+	// overshoot proportionally before integer rounding so the total is n.
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum <= 0 {
+		return Result{}, fmt.Errorf("partition: FPM produced empty distribution for n=%d", n)
+	}
+	units, err := RoundShares(shares, n, caps(devices))
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(devices, units), nil
+}
+
+// FPMIterative is the alternative fixed-point formulation of the FPM
+// partitioner used for cross-validation: start from a CPM-like distribution
+// and repeatedly redistribute proportionally to the speeds observed at the
+// current assignment, damping the update. For well-behaved (monotone-time)
+// models it converges to the same equal-time distribution as FPM.
+func FPMIterative(devices []Device, n int, maxIter int) (Result, error) {
+	if err := validate(devices, n); err != nil {
+		return Result{}, err
+	}
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	if n == 0 {
+		return finish(devices, make([]int, len(devices))), nil
+	}
+	p := len(devices)
+	shares := make([]float64, p)
+	for i := range shares {
+		shares[i] = float64(n) / float64(p)
+	}
+	cs := caps(devices)
+	clampShares(shares, cs, float64(n))
+	for iter := 0; iter < maxIter; iter++ {
+		speeds := make([]float64, p)
+		var sum float64
+		for i, d := range devices {
+			x := math.Max(shares[i], 1e-9)
+			speeds[i] = d.Model.Speed(x)
+			sum += speeds[i]
+		}
+		next := make([]float64, p)
+		for i := range next {
+			want := float64(n) * speeds[i] / sum
+			// Damped update for stability on steep speed functions.
+			next[i] = 0.5*shares[i] + 0.5*want
+		}
+		clampShares(next, cs, float64(n))
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - shares[i])
+		}
+		shares = next
+		if delta < 1e-9*float64(n) {
+			break
+		}
+	}
+	units, err := RoundShares(shares, n, cs)
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(devices, units), nil
+}
+
+// clampShares enforces per-device caps and rescales the uncapped remainder
+// so the total stays at n (when feasible).
+func clampShares(shares, cs []float64, n float64) {
+	for iter := 0; iter < len(shares)+1; iter++ {
+		var over float64
+		var freeSum float64
+		for i := range shares {
+			if shares[i] > cs[i] {
+				over += shares[i] - cs[i]
+				shares[i] = cs[i]
+			} else if shares[i] < cs[i] {
+				freeSum += shares[i]
+			}
+		}
+		if over <= 0 || freeSum <= 0 {
+			return
+		}
+		scale := (freeSum + over) / freeSum
+		for i := range shares {
+			if shares[i] < cs[i] {
+				shares[i] *= scale
+			}
+		}
+	}
+}

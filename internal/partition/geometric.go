@@ -1,0 +1,212 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpmpart/internal/fpm"
+)
+
+// This file implements the *geometric* formulation of the FPM partitioning
+// algorithm of Lastovetsky & Reddy (IJHPCA 2007), the form in which the
+// paper cites it: a line through the origin of the (problem size, speed)
+// plane with slope m intersects each device's speed curve at the size the
+// device can complete in time T = 1/m; rotating the line until the
+// intersections sum to n yields the balanced distribution.
+//
+// Unlike the generic bisection in fpmalgo.go — which inverts each device's
+// time function numerically — this implementation computes the line/curve
+// intersections *exactly* on the piecewise-linear segments of the models,
+// and rotates the line by bisecting over the finite set of slopes at which
+// the intersection pattern changes (the knot slopes). For piecewise-linear
+// FPMs the two algorithms provably agree; tests cross-validate them.
+
+// segment is one linear piece of a speed function: speed(x) = a + b·x for
+// x in [x0, x1].
+type segment struct {
+	x0, x1 float64
+	a, b   float64
+}
+
+// segments extracts the linear pieces of a model, extended by a terminal
+// clamped segment to +Inf (matching PiecewiseLinear's clamping).
+func segments(m *fpm.PiecewiseLinear) []segment {
+	pts := m.Points()
+	var segs []segment
+	if len(pts) == 1 {
+		segs = append(segs, segment{x0: 0, x1: math.Inf(1), a: pts[0].Speed, b: 0})
+		return segs
+	}
+	// Clamped head: constant speed from 0 to the first knot.
+	segs = append(segs, segment{x0: 0, x1: pts[0].Size, a: pts[0].Speed, b: 0})
+	for i := 1; i < len(pts); i++ {
+		p, q := pts[i-1], pts[i]
+		b := (q.Speed - p.Speed) / (q.Size - p.Size)
+		a := p.Speed - b*p.Size
+		segs = append(segs, segment{x0: p.Size, x1: q.Size, a: a, b: b})
+	}
+	last := pts[len(pts)-1]
+	segs = append(segs, segment{x0: last.Size, x1: math.Inf(1), a: last.Speed, b: 0})
+	return segs
+}
+
+// intersect returns the largest x in [x0, x1] with a + b·x >= m·x, i.e. the
+// rightmost point of the segment on or above the line y = m·x, or -1 when
+// the whole segment lies strictly below the line.
+func (s segment) intersect(m float64) float64 {
+	f := func(x float64) float64 { return s.a + (s.b-m)*x }
+	// f is linear in x; we need the largest x in [x0,x1] with f(x) >= 0.
+	if s.b-m >= 0 {
+		// Non-decreasing: check the right end (handle x1 = +Inf: f grows or
+		// stays constant, so it is satisfied iff a >= 0 when b==m, or
+		// always for b>m — but an unbounded intersection means the line is
+		// too shallow; report +Inf).
+		if math.IsInf(s.x1, 1) {
+			if s.b-m > 0 || s.a >= 0 {
+				return math.Inf(1)
+			}
+			return -1
+		}
+		if f(s.x1) >= 0 {
+			return s.x1
+		}
+		return -1
+	}
+	// Decreasing: largest feasible x is where f crosses zero.
+	if f(s.x0) < 0 {
+		return -1
+	}
+	x := s.a / (m - s.b)
+	if x > s.x1 {
+		x = s.x1
+	}
+	if x < s.x0 {
+		x = s.x0
+	}
+	return x
+}
+
+// deviceCurve pre-processes one device for the geometric solver.
+type deviceCurve struct {
+	segs []segment
+	cap  float64
+}
+
+// sizeAt returns the device's intersection with the line of slope m: the
+// largest x with speed(x) >= m·x (capped). For m <= 0 it returns the cap.
+func (d deviceCurve) sizeAt(m float64) float64 {
+	if m <= 0 {
+		return d.cap
+	}
+	best := 0.0
+	for _, s := range d.segs {
+		if x := s.intersect(m); x > best {
+			best = x
+		}
+	}
+	if best > d.cap {
+		best = d.cap
+	}
+	return best
+}
+
+// Geometric runs the exact line-rotation FPM partitioner. It requires every
+// device model to be either a *fpm.PiecewiseLinear or an fpm.Constant (the
+// model kinds with exact linear segments); other model types should use FPM
+// (the numeric bisection), which accepts any SpeedFunction.
+func Geometric(devices []Device, n int) (Result, error) {
+	if err := validate(devices, n); err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return finish(devices, make([]int, len(devices))), nil
+	}
+	curves := make([]deviceCurve, len(devices))
+	for i, d := range devices {
+		cap := d.MaxUnits
+		if cap <= 0 {
+			cap = math.Inf(1)
+		}
+		switch m := d.Model.(type) {
+		case *fpm.PiecewiseLinear:
+			curves[i] = deviceCurve{segs: segments(m), cap: cap}
+		case fpm.Constant:
+			curves[i] = deviceCurve{
+				segs: []segment{{x0: 0, x1: math.Inf(1), a: m.S, b: 0}},
+				cap:  cap,
+			}
+		default:
+			return Result{}, fmt.Errorf("partition: geometric solver needs piecewise-linear or constant models, device %s has %T", d.Name, d.Model)
+		}
+	}
+	total := func(m float64) float64 {
+		var t float64
+		for _, c := range curves {
+			t += c.sizeAt(m)
+		}
+		return t
+	}
+
+	// Candidate slopes where the intersection pattern can change: the knot
+	// slopes speed(x)/x of every model knot. Between consecutive candidate
+	// slopes total(m) is a continuous monotone function of m, so a final
+	// bisection within one slope interval nails the answer.
+	var slopes []float64
+	for i, d := range devices {
+		if pl, ok := d.Model.(*fpm.PiecewiseLinear); ok {
+			for _, p := range pl.Points() {
+				if p.Size > 0 {
+					slopes = append(slopes, p.Speed/p.Size)
+				}
+			}
+		}
+		_ = i
+	}
+	sort.Float64s(slopes)
+
+	target := float64(n)
+	// Bracket in slope space: total is non-increasing in m. Find lo/hi with
+	// total(hi) <= n <= total(lo).
+	lo := 0.0 // slope 0: every device takes its cap (or unbounded)
+	hi := 1.0
+	for total(hi) > target {
+		hi *= 2
+		if hi > 1e30 {
+			break
+		}
+	}
+	// Narrow using the knot slopes.
+	idx := sort.Search(len(slopes), func(i int) bool { return total(slopes[i]) <= target })
+	if idx < len(slopes) {
+		hi = slopes[idx]
+	}
+	if idx > 0 && slopes[idx-1] > lo {
+		lo = slopes[idx-1]
+	}
+	// Final numeric bisection within the bracketing slope interval.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if total(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-15*(1+hi) {
+			break
+		}
+	}
+	m := hi
+	shares := make([]float64, len(devices))
+	for i, c := range curves {
+		shares[i] = c.sizeAt(m)
+		if math.IsInf(shares[i], 1) {
+			return Result{}, fmt.Errorf("partition: geometric solver found unbounded share for %s", devices[i].Name)
+		}
+	}
+	units, err := RoundShares(shares, n, caps(devices))
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(devices, units), nil
+}

@@ -1,0 +1,187 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fpmpart/internal/fpm"
+)
+
+func TestGeometricConstantModels(t *testing.T) {
+	devs := []Device{constDev("a", 30, 0), constDev("b", 10, 0)}
+	r, err := Geometric(devs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := r.Units()
+	if u[0] != 75 || u[1] != 25 {
+		t.Errorf("units = %v, want [75 25]", u)
+	}
+}
+
+func TestGeometricAgreesWithBisection(t *testing.T) {
+	// Monotone-time models (speed never falls fast enough to make x/s(x)
+	// decrease): the two solvers are equivalent.
+	m1 := fpm.MustPiecewiseLinear([]fpm.Point{
+		{Size: 10, Speed: 50}, {Size: 200, Speed: 150}, {Size: 2000, Speed: 160},
+	})
+	m2 := fpm.MustPiecewiseLinear([]fpm.Point{
+		{Size: 10, Speed: 20}, {Size: 500, Speed: 60}, {Size: 2000, Speed: 75},
+	})
+	m3 := fpm.MustPiecewiseLinear([]fpm.Point{
+		{Size: 5, Speed: 100}, {Size: 2000, Speed: 100},
+	})
+	devs := []Device{{Name: "a", Model: m1}, {Name: "b", Model: m2}, {Name: "c", Model: m3}}
+	for _, n := range []int{50, 777, 3000, 12345} {
+		g, err := Geometric(devs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := FPM(devs, n, FPMOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gu, fu := g.Units(), f.Units()
+		for i := range gu {
+			if d := gu[i] - fu[i]; d < -1 || d > 1 {
+				t.Errorf("n=%d device %d: geometric %d vs bisection %d", n, i, gu[i], fu[i])
+			}
+		}
+		if sumUnits(g) != n {
+			t.Errorf("n=%d: total %d", n, sumUnits(g))
+		}
+	}
+}
+
+func TestGeometricRespectsCaps(t *testing.T) {
+	devs := []Device{constDev("gpu", 1000, 200), constDev("cpu", 10, 0)}
+	r, err := Geometric(devs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Units(); u[0] != 200 || u[1] != 800 {
+		t.Errorf("units = %v, want [200 800]", u)
+	}
+}
+
+func TestGeometricZeroN(t *testing.T) {
+	devs := []Device{constDev("a", 5, 0)}
+	r, err := Geometric(devs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumUnits(r) != 0 {
+		t.Errorf("total = %d", sumUnits(r))
+	}
+}
+
+func TestGeometricRejectsOpaqueModels(t *testing.T) {
+	devs := []Device{{Name: "x", Model: fpm.Scaled{Base: fpm.Constant{S: 5}, Factor: 1}}}
+	if _, err := Geometric(devs, 10); err == nil {
+		t.Error("opaque model type should be rejected")
+	}
+}
+
+func TestGeometricValidation(t *testing.T) {
+	if _, err := Geometric(nil, 5); err == nil {
+		t.Error("no devices accepted")
+	}
+	if _, err := Geometric([]Device{constDev("a", 1, 0)}, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestSegmentsExtraction(t *testing.T) {
+	m := fpm.MustPiecewiseLinear([]fpm.Point{{Size: 10, Speed: 100}, {Size: 20, Speed: 200}})
+	segs := segments(m)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3 (head, middle, tail)", len(segs))
+	}
+	// Head: constant 100 on [0,10].
+	if segs[0].a != 100 || segs[0].b != 0 || segs[0].x1 != 10 {
+		t.Errorf("head segment %+v", segs[0])
+	}
+	// Middle: slope 10 through (10,100).
+	if math.Abs(segs[1].b-10) > 1e-12 || math.Abs(segs[1].a-0) > 1e-9 {
+		t.Errorf("middle segment %+v", segs[1])
+	}
+	// Tail: constant 200 on [20, inf).
+	if segs[2].a != 200 || !math.IsInf(segs[2].x1, 1) {
+		t.Errorf("tail segment %+v", segs[2])
+	}
+	// Single-point model: one constant segment.
+	one := fpm.MustPiecewiseLinear([]fpm.Point{{Size: 5, Speed: 42}})
+	if s := segments(one); len(s) != 1 || s[0].a != 42 {
+		t.Errorf("single-point segments %+v", s)
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	// Constant speed 100 on [0, 50]: intersection with slope m is min(100/m, 50).
+	s := segment{x0: 0, x1: 50, a: 100, b: 0}
+	if got := s.intersect(4); math.Abs(got-25) > 1e-12 {
+		t.Errorf("intersect(4) = %v, want 25", got)
+	}
+	if got := s.intersect(1); got != 50 {
+		t.Errorf("intersect(1) = %v, want 50 (clamped to segment)", got)
+	}
+	if got := s.intersect(1000); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("steep line = %v, want 0.1", got)
+	}
+	// Rising segment steeper than the line: right end wins.
+	r := segment{x0: 0, x1: 10, a: 0, b: 5}
+	if got := r.intersect(2); got != 10 {
+		t.Errorf("rising segment = %v, want 10", got)
+	}
+	// Segment entirely below the line.
+	below := segment{x0: 10, x1: 20, a: 1, b: 0}
+	if got := below.intersect(1); got != -1 {
+		t.Errorf("below-line segment = %v, want -1", got)
+	}
+	// Unbounded tail with b == m and a >= 0 is unbounded.
+	tail := segment{x0: 10, x1: math.Inf(1), a: 5, b: 0}
+	if got := tail.intersect(0); !math.IsInf(got, 1) {
+		t.Errorf("flat line on unbounded tail = %v, want +Inf", got)
+	}
+}
+
+// Property: geometric partitioning always sums to n and matches the
+// bisection solver within one unit for random monotone-time models.
+func TestGeometricEquivalenceProperty(t *testing.T) {
+	f := func(nRaw uint16, s1, s2, s3 uint8, r1, r2, r3 uint8) bool {
+		n := int(nRaw)%8000 + 10
+		mk := func(s0, rise uint8) *fpm.PiecewiseLinear {
+			base := 10 + float64(s0)
+			// Non-decreasing speed: time is strictly increasing.
+			return fpm.MustPiecewiseLinear([]fpm.Point{
+				{Size: 10, Speed: base},
+				{Size: 1000, Speed: base + float64(rise%100)},
+				{Size: 9000, Speed: base + float64(rise%100) + 1},
+			})
+		}
+		devs := []Device{
+			{Name: "a", Model: mk(s1, r1)},
+			{Name: "b", Model: mk(s2, r2)},
+			{Name: "c", Model: mk(s3, r3)},
+		}
+		g, err1 := Geometric(devs, n)
+		f2, err2 := FPM(devs, n, FPMOptions{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if sumUnits(g) != n {
+			return false
+		}
+		gu, fu := g.Units(), f2.Units()
+		for i := range gu {
+			if d := gu[i] - fu[i]; d < -2 || d > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"fpmpart/internal/fpm"
+)
+
+// Hierarchical partitioning: the paper's methodology scales beyond one node
+// by treating each node (or socket group) as a single device with an
+// *aggregate* functional performance model, partitioning the workload
+// across groups, and then recursively within each group (Zhong, Rychkov &
+// Lastovetsky, Cluster 2011 — reference [6] of the paper).
+
+// AggregateModel builds the combined FPM of a device group: the group's
+// speed at size x is x divided by the time at which the group, internally
+// balanced by the FPM algorithm, completes x units. The model is sampled at
+// the given sizes and linearly interpolated in between.
+func AggregateModel(devices []Device, sizes []float64) (*fpm.PiecewiseLinear, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("partition: aggregate of no devices")
+	}
+	if len(sizes) == 0 {
+		return nil, errors.New("partition: aggregate needs sample sizes")
+	}
+	// The group's total capacity bounds the sampleable sizes.
+	groupCap := 0.0
+	capped := true
+	for _, d := range devices {
+		if d.MaxUnits <= 0 {
+			capped = false
+			break
+		}
+		groupCap += d.MaxUnits
+	}
+	var pts []fpm.Point
+	seen := map[int]bool{}
+	for _, x := range sizes {
+		if capped && x > groupCap {
+			x = groupCap
+		}
+		n := int(x)
+		if n <= 0 {
+			return nil, fmt.Errorf("partition: invalid aggregate sample size %v", x)
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		r, err := FPM(devices, n, FPMOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("partition: aggregate sample at %d: %w", n, err)
+		}
+		if r.MaxTime <= 0 {
+			return nil, fmt.Errorf("partition: aggregate sample at %d produced no work", n)
+		}
+		pts = append(pts, fpm.Point{Size: float64(n), Speed: float64(n) / r.MaxTime})
+	}
+	return fpm.NewPiecewiseLinear(pts)
+}
+
+// HierarchicalResult is the outcome of a two-level partitioning.
+type HierarchicalResult struct {
+	// GroupUnits[g] is the work assigned to group g.
+	GroupUnits []int
+	// Inner[g] is group g's internal partition of its share.
+	Inner []Result
+}
+
+// Units flattens the per-device assignment in group-major order.
+func (h HierarchicalResult) Units() []int {
+	var out []int
+	for _, r := range h.Inner {
+		out = append(out, r.Units()...)
+	}
+	return out
+}
+
+// MaxTime returns the slowest device's predicted time across all groups.
+func (h HierarchicalResult) MaxTime() float64 {
+	var t float64
+	for _, r := range h.Inner {
+		if r.MaxTime > t {
+			t = r.MaxTime
+		}
+	}
+	return t
+}
+
+// Hierarchical partitions n units over groups of devices in two levels:
+// an aggregate FPM is built for every group (sampled at aggSizes; when nil,
+// a default geometric grid up to n is used), n is FPM-partitioned across
+// the groups, and each group's share is FPM-partitioned internally.
+//
+// For perfectly modelled groups the result matches flat partitioning over
+// the union of all devices; the hierarchical form is how FPM partitioning
+// composes across cluster levels without a global model of every core.
+func Hierarchical(groups [][]Device, n int, aggSizes []float64) (HierarchicalResult, error) {
+	if len(groups) == 0 {
+		return HierarchicalResult{}, errors.New("partition: no groups")
+	}
+	if n < 0 {
+		return HierarchicalResult{}, fmt.Errorf("partition: negative n %d", n)
+	}
+	if aggSizes == nil {
+		lo := float64(n) / 64
+		if lo < 1 {
+			lo = 1
+		}
+		hi := float64(n)
+		if hi < lo {
+			hi = lo
+		}
+		var err error
+		aggSizes, err = fpm.Grid(lo, hi, 12, "geometric")
+		if err != nil {
+			return HierarchicalResult{}, err
+		}
+	}
+	groupDevs := make([]Device, len(groups))
+	for g, devs := range groups {
+		agg, err := AggregateModel(devs, aggSizes)
+		if err != nil {
+			return HierarchicalResult{}, fmt.Errorf("partition: group %d: %w", g, err)
+		}
+		var cap float64
+		capped := true
+		for _, d := range devs {
+			if d.MaxUnits <= 0 {
+				capped = false
+				break
+			}
+			cap += d.MaxUnits
+		}
+		if !capped {
+			cap = 0
+		}
+		groupDevs[g] = Device{Name: fmt.Sprintf("group%d", g), Model: agg, MaxUnits: cap}
+	}
+	top, err := FPM(groupDevs, n, FPMOptions{})
+	if err != nil {
+		return HierarchicalResult{}, err
+	}
+	res := HierarchicalResult{GroupUnits: top.Units(), Inner: make([]Result, len(groups))}
+	for g, devs := range groups {
+		inner, err := FPM(devs, res.GroupUnits[g], FPMOptions{})
+		if err != nil {
+			return HierarchicalResult{}, fmt.Errorf("partition: group %d inner: %w", g, err)
+		}
+		res.Inner[g] = inner
+	}
+	return res, nil
+}

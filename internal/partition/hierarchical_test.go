@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"fpmpart/internal/fpm"
+)
+
+func TestAggregateModelConstantDevices(t *testing.T) {
+	// Two constant devices of 30 and 10 units/s aggregate to 40 units/s.
+	devs := []Device{constDev("a", 30, 0), constDev("b", 10, 0)}
+	agg, err := AggregateModel(devs, []float64{100, 1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{100, 5000, 10000} {
+		if got := agg.Speed(x); math.Abs(got-40) > 1.0 {
+			t.Errorf("aggregate speed(%v) = %v, want ≈40", x, got)
+		}
+	}
+}
+
+func TestAggregateModelErrors(t *testing.T) {
+	devs := []Device{constDev("a", 1, 0)}
+	if _, err := AggregateModel(nil, []float64{10}); err == nil {
+		t.Error("no devices accepted")
+	}
+	if _, err := AggregateModel(devs, nil); err == nil {
+		t.Error("no sizes accepted")
+	}
+	if _, err := AggregateModel(devs, []float64{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestHierarchicalSingleGroupMatchesFlat(t *testing.T) {
+	devs := []Device{constDev("a", 30, 0), constDev("b", 10, 0), constDev("c", 60, 0)}
+	h, err := Hierarchical([][]Device{devs}, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := FPM(devs, 5000, FPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hu, fu := h.Units(), flat.Units()
+	for i := range hu {
+		if d := hu[i] - fu[i]; d < -2 || d > 2 {
+			t.Errorf("device %d: hierarchical %d vs flat %d", i, hu[i], fu[i])
+		}
+	}
+	if h.GroupUnits[0] != 5000 {
+		t.Errorf("group units = %v", h.GroupUnits)
+	}
+}
+
+func TestHierarchicalIdenticalGroupsSplitEvenly(t *testing.T) {
+	mk := func() []Device {
+		return []Device{constDev("fast", 40, 0), constDev("slow", 10, 0)}
+	}
+	h, err := Hierarchical([][]Device{mk(), mk()}, 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := h.GroupUnits[0] - h.GroupUnits[1]; d < -100 || d > 100 {
+		t.Errorf("identical groups got %v", h.GroupUnits)
+	}
+	// Within each group, fast:slow ≈ 4:1.
+	for g, r := range h.Inner {
+		u := r.Units()
+		ratio := float64(u[0]) / float64(u[1])
+		if ratio < 3.5 || ratio > 4.5 {
+			t.Errorf("group %d inner ratio = %v", g, ratio)
+		}
+	}
+}
+
+func TestHierarchicalMatchesFlatOnHeterogeneousGroups(t *testing.T) {
+	gpuish := fpm.MustPiecewiseLinear([]fpm.Point{
+		{Size: 10, Speed: 400}, {Size: 1500, Speed: 450}, {Size: 1600, Speed: 200}, {Size: 20000, Speed: 180},
+	})
+	cpuish := fpm.MustPiecewiseLinear([]fpm.Point{{Size: 10, Speed: 40}, {Size: 20000, Speed: 55}})
+	g1 := []Device{{Name: "gpu", Model: gpuish}, {Name: "cpu1", Model: cpuish}}
+	g2 := []Device{{Name: "cpu2", Model: cpuish}, {Name: "cpu3", Model: cpuish}}
+	n := 8000
+	h, err := Hierarchical([][]Device{g1, g2}, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := FPM(append(append([]Device{}, g1...), g2...), n, FPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, u := range h.Units() {
+		total += u
+	}
+	if total != n {
+		t.Fatalf("hierarchical total = %d", total)
+	}
+	// The hierarchical makespan is within a few percent of the flat one.
+	if h.MaxTime() > 1.1*flat.MaxTime {
+		t.Errorf("hierarchical makespan %v vs flat %v", h.MaxTime(), flat.MaxTime)
+	}
+}
+
+func TestHierarchicalRespectsGroupCaps(t *testing.T) {
+	g1 := []Device{constDev("small", 100, 50)}
+	g2 := []Device{constDev("big", 1, 0)}
+	h, err := Hierarchical([][]Device{g1, g2}, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.GroupUnits[0] > 50 {
+		t.Errorf("capped group got %d units", h.GroupUnits[0])
+	}
+	if h.GroupUnits[0]+h.GroupUnits[1] != 500 {
+		t.Errorf("group units %v don't sum", h.GroupUnits)
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	if _, err := Hierarchical(nil, 10, nil); err == nil {
+		t.Error("no groups accepted")
+	}
+	if _, err := Hierarchical([][]Device{{constDev("a", 1, 0)}}, -1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Hierarchical([][]Device{{}}, 10, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+}

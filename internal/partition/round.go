@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RoundShares converts continuous shares into non-negative integers that sum
+// exactly to n, never exceed per-device caps, and stay within one unit of
+// the proportionally scaled shares (largest-remainder method).
+//
+// caps[i] may be +Inf for uncapped devices. The function first scales the
+// shares to sum to n, floors them, then hands the remaining units to the
+// devices with the largest fractional parts (skipping devices at their cap).
+func RoundShares(shares []float64, n int, caps []float64) ([]int, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("partition: no shares to round")
+	}
+	if len(caps) != len(shares) {
+		return nil, fmt.Errorf("partition: %d caps for %d shares", len(caps), len(shares))
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("partition: negative total %d", n)
+	}
+	var sum float64
+	for i, s := range shares {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("partition: invalid share %v at index %d", s, i)
+		}
+		sum += s
+	}
+	for i, c := range caps {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("partition: invalid cap %v at index %d", c, i)
+		}
+	}
+	scaled := make([]float64, len(shares))
+	if sum == 0 {
+		// Degenerate: distribute evenly.
+		for i := range scaled {
+			scaled[i] = float64(n) / float64(len(shares))
+		}
+	} else {
+		for i, s := range shares {
+			scaled[i] = s * float64(n) / sum
+		}
+	}
+	// Respect caps on the continuous solution first.
+	capsCopy := make([]float64, len(caps))
+	copy(capsCopy, caps)
+	clampShares(scaled, capsCopy, float64(n))
+
+	units := make([]int, len(scaled))
+	assigned := 0
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, 0, len(scaled))
+	for i, s := range scaled {
+		fl := math.Floor(s + 1e-9) // tolerate FP dust just below an integer
+		if fl > caps[i] {
+			fl = math.Floor(caps[i])
+		}
+		units[i] = int(fl)
+		assigned += units[i]
+		fracs = append(fracs, frac{i: i, f: s - fl})
+	}
+	remaining := n - assigned
+	if remaining < 0 {
+		// Over-assignment can only come from the 1e-9 dust tolerance; take
+		// units back from the smallest fractional parts.
+		sort.Slice(fracs, func(a, b int) bool { return fracs[a].f < fracs[b].f })
+		for _, fr := range fracs {
+			if remaining == 0 {
+				break
+			}
+			if units[fr.i] > 0 {
+				units[fr.i]--
+				remaining++
+			}
+		}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].i < fracs[b].i // deterministic tie-break
+	})
+	for remaining > 0 {
+		progress := false
+		for _, fr := range fracs {
+			if remaining == 0 {
+				break
+			}
+			if float64(units[fr.i]+1) <= caps[fr.i] {
+				units[fr.i]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("partition: caps prevent distributing %d remaining units", remaining)
+		}
+	}
+	return units, nil
+}

@@ -1,0 +1,154 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+func TestRoundSharesExactSum(t *testing.T) {
+	u, err := RoundShares([]float64{1, 1, 1}, 10, []float64{inf(), inf(), inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0]+u[1]+u[2] != 10 {
+		t.Fatalf("sum = %v", u)
+	}
+	// Even shares of 10 over 3 -> 4,3,3 (first gets the remainder by tie-break).
+	if u[0] != 4 || u[1] != 3 || u[2] != 3 {
+		t.Errorf("units = %v", u)
+	}
+}
+
+func TestRoundSharesLargestRemainder(t *testing.T) {
+	// shares scaled to n=10: [4.9, 3.6, 1.5] -> floors [4,3,1], rem 2 to 0.9 then 0.6.
+	u, err := RoundShares([]float64{4.9, 3.6, 1.5}, 10, []float64{inf(), inf(), inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 || u[1] != 4 || u[2] != 1 {
+		t.Errorf("units = %v, want [5 4 1]", u)
+	}
+}
+
+func TestRoundSharesCaps(t *testing.T) {
+	u, err := RoundShares([]float64{100, 1}, 50, []float64{10, inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 10 || u[1] != 40 {
+		t.Errorf("units = %v, want [10 40]", u)
+	}
+	// Infeasible caps.
+	if _, err := RoundShares([]float64{1, 1}, 50, []float64{10, 10}); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}
+
+func TestRoundSharesZeroSum(t *testing.T) {
+	u, err := RoundShares([]float64{0, 0}, 5, []float64{inf(), inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0]+u[1] != 5 {
+		t.Errorf("units = %v", u)
+	}
+}
+
+func TestRoundSharesValidation(t *testing.T) {
+	if _, err := RoundShares(nil, 5, nil); err == nil {
+		t.Error("empty shares should fail")
+	}
+	if _, err := RoundShares([]float64{1}, 5, []float64{1, 2}); err == nil {
+		t.Error("mismatched caps should fail")
+	}
+	if _, err := RoundShares([]float64{1}, -1, []float64{inf()}); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := RoundShares([]float64{-1}, 5, []float64{inf()}); err == nil {
+		t.Error("negative share should fail")
+	}
+	if _, err := RoundShares([]float64{math.NaN()}, 5, []float64{inf()}); err == nil {
+		t.Error("NaN share should fail")
+	}
+}
+
+// Property: result sums to n, is non-negative, respects caps, and each
+// device is within 1 unit of its scaled continuous share (when uncapped).
+func TestRoundSharesProperty(t *testing.T) {
+	f := func(nRaw uint16, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		n := int(nRaw) % 10000
+		shares := make([]float64, len(raw))
+		cs := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			shares[i] = float64(r) + 0.5
+			cs[i] = math.Inf(1)
+			sum += shares[i]
+		}
+		u, err := RoundShares(shares, n, cs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, v := range u {
+			if v < 0 {
+				return false
+			}
+			total += v
+			want := shares[i] * float64(n) / sum
+			if math.Abs(float64(v)-want) > 1.0000001 {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with caps, result never exceeds them and still sums to n when
+// feasible.
+func TestRoundSharesCapsProperty(t *testing.T) {
+	f := func(nRaw uint16, raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		shares := make([]float64, len(raw))
+		cs := make([]float64, len(raw))
+		var capSum float64
+		for i, r := range raw {
+			shares[i] = float64(r%50) + 1
+			cs[i] = float64(r%30) + 5
+			capSum += cs[i]
+		}
+		n := int(nRaw) % int(capSum)
+		u, err := RoundShares(shares, n, cs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, v := range u {
+			if float64(v) > cs[i] || v < 0 {
+				return false
+			}
+			total += v
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

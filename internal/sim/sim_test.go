@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(e.Schedule(3, func() { order = append(order, 3) }))
+	must(e.Schedule(1, func() { order = append(order, 1) }))
+	must(e.Schedule(2, func() { order = append(order, 2) }))
+	end := e.Run(math.Inf(1))
+	if end != 3 {
+		t.Errorf("final time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.Schedule(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(math.Inf(1))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	if err := e.Schedule(1, func() {
+		times = append(times, e.Now())
+		if err := e.Schedule(2, func() { times = append(times, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(math.Inf(1))
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for _, d := range []float64{1, 5, 10} {
+		if err := e.Schedule(d, func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(5)
+	if ran != 2 {
+		t.Errorf("events run by t=5: %d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(math.Inf(1))
+	if ran != 3 || e.Pending() != 0 {
+		t.Errorf("after drain: ran=%d pending=%d", ran, e.Pending())
+	}
+}
+
+func TestEngineRunAdvancesToUntilWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if got := e.Run(7); got != 7 {
+		t.Errorf("empty Run(7) = %v", got)
+	}
+}
+
+func TestEngineRejectsBadDelays(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := e.Schedule(math.NaN(), func() {}); err == nil {
+		t.Error("NaN delay accepted")
+	}
+}
+
+func TestResourceSequentialExecution(t *testing.T) {
+	r := NewResource("pcie")
+	s1, f1 := r.Exec(0, 10)
+	if s1 != 0 || f1 != 10 {
+		t.Errorf("first task (%v,%v)", s1, f1)
+	}
+	// Ready at 5 but resource busy until 10.
+	s2, f2 := r.Exec(5, 3)
+	if s2 != 10 || f2 != 13 {
+		t.Errorf("queued task (%v,%v), want (10,13)", s2, f2)
+	}
+	// Ready after the resource frees: starts at ready time.
+	s3, f3 := r.Exec(20, 1)
+	if s3 != 20 || f3 != 21 {
+		t.Errorf("idle-start task (%v,%v), want (20,21)", s3, f3)
+	}
+	if r.BusyTime() != 14 {
+		t.Errorf("busy = %v, want 14", r.BusyTime())
+	}
+	if got := r.Utilisation(28); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("utilisation = %v, want 0.5", got)
+	}
+	if r.Utilisation(0) != 0 {
+		t.Error("zero-makespan utilisation should be 0")
+	}
+}
+
+func TestResourceResetAndName(t *testing.T) {
+	r := NewResource("h2d")
+	r.Exec(0, 5)
+	r.Reset()
+	if r.FreeAt() != 0 || r.BusyTime() != 0 {
+		t.Error("reset did not clear state")
+	}
+	if r.Name() != "h2d" {
+		t.Errorf("name = %q", r.Name())
+	}
+}
+
+func TestResourcePanicsOnBadDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewResource("x").Exec(0, -1)
+}
+
+// Property: a resource never overlaps tasks and never idles between a busy
+// backlog — finish times are non-decreasing and start >= ready.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(readies []uint8, durs []uint8) bool {
+		r := NewResource("p")
+		nTasks := len(readies)
+		if len(durs) < nTasks {
+			nTasks = len(durs)
+		}
+		prevFinish := 0.0
+		for i := 0; i < nTasks; i++ {
+			ready := float64(readies[i])
+			dur := float64(durs[i] % 16)
+			start, finish := r.Exec(ready, dur)
+			if start < ready || start < prevFinish || finish != start+dur {
+				return false
+			}
+			prevFinish = finish
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

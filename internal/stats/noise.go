@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Noise models multiplicative measurement noise applied to simulated kernel
+// timings: each observation of a true time t is reported as t * (1 + e) with
+// e drawn from a truncated normal distribution. System noise on a dedicated
+// HPC node is small and roughly symmetric, which this reproduces.
+type Noise struct {
+	rng *rand.Rand
+	// Sigma is the relative standard deviation of the noise (e.g. 0.02).
+	Sigma float64
+	// Clip bounds |e| so a single outlier cannot produce a non-positive or
+	// wildly wrong time. Defaults to 3*Sigma when zero.
+	Clip float64
+}
+
+// NewNoise returns a reproducible noise source with the given seed and
+// relative standard deviation.
+func NewNoise(seed int64, sigma float64) *Noise {
+	return &Noise{rng: rand.New(rand.NewSource(seed)), Sigma: sigma}
+}
+
+// Perturb returns t*(1+e) with e ~ truncated N(0, Sigma^2).
+func (n *Noise) Perturb(t float64) float64 {
+	if n == nil || n.Sigma <= 0 {
+		return t
+	}
+	clip := n.Clip
+	if clip <= 0 {
+		clip = 3 * n.Sigma
+	}
+	e := n.rng.NormFloat64() * n.Sigma
+	e = math.Max(-clip, math.Min(clip, e))
+	return t * (1 + e)
+}
+
+// Uniform returns a uniformly distributed value in [lo, hi), for workloads
+// that need reproducible randomised inputs.
+func (n *Noise) Uniform(lo, hi float64) float64 {
+	return lo + n.rng.Float64()*(hi-lo)
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Outlier rejection for benchmark samples: timing distributions on real
+// systems have a one-sided tail (daemons, interrupts, page faults), so
+// robust filtering before averaging noticeably improves model quality.
+
+// MAD returns the median absolute deviation of the sample (a robust spread
+// estimate), or NaN for an empty sample.
+func (s *Sample) MAD() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	med := s.Median()
+	devs := make([]float64, len(s.xs))
+	for i, x := range s.xs {
+		devs[i] = math.Abs(x - med)
+	}
+	sort.Float64s(devs)
+	n := len(devs)
+	if n%2 == 1 {
+		return devs[n/2]
+	}
+	return (devs[n/2-1] + devs[n/2]) / 2
+}
+
+// FilterOutliers returns a new sample containing the observations within k
+// scaled MADs of the median (k≈3 is conventional; the 1.4826 factor makes
+// the MAD consistent with a normal standard deviation). If the MAD is zero
+// (at least half the observations identical), only exact outliers beyond
+// k·epsilon-of-median survive filtering — degenerate inputs pass through
+// unchanged except for values different from the median.
+func (s *Sample) FilterOutliers(k float64) *Sample {
+	if len(s.xs) == 0 || k <= 0 {
+		return NewSample(s.xs...)
+	}
+	med := s.Median()
+	scale := 1.4826 * s.MAD()
+	if scale == 0 {
+		// Fall back to a relative tolerance around the median.
+		scale = 1e-9 * math.Max(1, math.Abs(med))
+	}
+	out := &Sample{}
+	for _, x := range s.xs {
+		if math.Abs(x-med) <= k*scale {
+			out.Add(x)
+		}
+	}
+	if out.N() == 0 {
+		// Never return an empty sample: keep the median itself.
+		out.Add(med)
+	}
+	return out
+}
+
+// RobustMean returns the mean after 3-MAD outlier filtering.
+func (s *Sample) RobustMean() float64 {
+	return s.FilterOutliers(3).Mean()
+}

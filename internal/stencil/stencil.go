@@ -1,0 +1,200 @@
+// Package stencil implements a second data-parallel application for the
+// FPM-partitioning methodology: an iterative 2D five-point stencil (Jacobi
+// relaxation / heat diffusion) partitioned into horizontal row bands, one
+// band per processing element. The paper targets exactly this class
+// ("computational fluid dynamics … characterised by divisible computational
+// workload, directly proportional to the size of data") — the stencil shows
+// the library is not matrix-multiplication-specific.
+//
+// As with the matrix application, the package offers a real mode (actually
+// computing, with optional per-band slowdowns to emulate heterogeneous
+// devices) and helpers to balance bands with functional performance models
+// where the problem size is the band's row count.
+package stencil
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Grid is a dense rows×cols field of float64 cells.
+type Grid struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(rows, cols int) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("stencil: invalid grid %dx%d", rows, cols)
+	}
+	return &Grid{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// At returns cell (r, c).
+func (g *Grid) At(r, c int) float64 { return g.Data[r*g.Cols+c] }
+
+// Set assigns cell (r, c).
+func (g *Grid) Set(r, c int, v float64) { g.Data[r*g.Cols+c] = v }
+
+// FillSine initialises the grid with a smooth deterministic field.
+func (g *Grid) FillSine() {
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			g.Set(r, c, math.Sin(0.05*float64(r))*math.Cos(0.08*float64(c)))
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{Rows: g.Rows, Cols: g.Cols, Data: make([]float64, len(g.Data))}
+	copy(out.Data, g.Data)
+	return out
+}
+
+// MaxAbsDiff returns the largest cell-wise difference, or +Inf on shape
+// mismatch.
+func MaxAbsDiff(a, b *Grid) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// step relaxes rows [r0, r1) of src into dst: each interior cell becomes
+// the average of its von-Neumann neighbours; boundary cells average their
+// in-grid neighbours (insulated boundary).
+func step(src, dst *Grid, r0, r1 int) {
+	for r := r0; r < r1; r++ {
+		for c := 0; c < src.Cols; c++ {
+			var sum float64
+			var cnt float64
+			if r > 0 {
+				sum += src.At(r-1, c)
+				cnt++
+			}
+			if r < src.Rows-1 {
+				sum += src.At(r+1, c)
+				cnt++
+			}
+			if c > 0 {
+				sum += src.At(r, c-1)
+				cnt++
+			}
+			if c < src.Cols-1 {
+				sum += src.At(r, c+1)
+				cnt++
+			}
+			dst.Set(r, c, sum/cnt)
+		}
+	}
+}
+
+// RunSequential performs iters relaxation sweeps on a copy of g and returns
+// the result.
+func RunSequential(g *Grid, iters int) (*Grid, error) {
+	if iters < 0 {
+		return nil, fmt.Errorf("stencil: negative iterations %d", iters)
+	}
+	src, dst := g.Clone(), g.Clone()
+	for i := 0; i < iters; i++ {
+		step(src, dst, 0, src.Rows)
+		src, dst = dst, src
+	}
+	return src, nil
+}
+
+// RealResult reports a partitioned real run.
+type RealResult struct {
+	// PerBandSeconds is each band's accumulated compute time.
+	PerBandSeconds []float64
+	// WallSeconds is the elapsed wall time.
+	WallSeconds float64
+	// Iterations performed.
+	Iterations int
+}
+
+// Makespan returns the slowest band's accumulated time.
+func (r RealResult) Makespan() float64 {
+	var m float64
+	for _, s := range r.PerBandSeconds {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// RunReal performs iters relaxation sweeps with the rows split into bands
+// (row counts summing to the grid's rows), one goroutine per band,
+// barrier-synchronised per iteration (the halo exchange point). Optional
+// slowdowns emulate heterogeneous devices as in the matrix application
+// (nil = all 1). The numerical result is identical to RunSequential.
+func RunReal(g *Grid, bands []int, iters int, slowdowns []float64) (*Grid, RealResult, error) {
+	if iters < 0 {
+		return nil, RealResult{}, fmt.Errorf("stencil: negative iterations %d", iters)
+	}
+	if len(bands) == 0 {
+		return nil, RealResult{}, fmt.Errorf("stencil: no bands")
+	}
+	total := 0
+	for i, b := range bands {
+		if b < 0 {
+			return nil, RealResult{}, fmt.Errorf("stencil: negative band %d at %d", b, i)
+		}
+		total += b
+	}
+	if total != g.Rows {
+		return nil, RealResult{}, fmt.Errorf("stencil: bands sum to %d, grid has %d rows", total, g.Rows)
+	}
+	if slowdowns != nil && len(slowdowns) != len(bands) {
+		return nil, RealResult{}, fmt.Errorf("stencil: %d slowdowns for %d bands", len(slowdowns), len(bands))
+	}
+	for i := range slowdowns {
+		if slowdowns[i] < 1 {
+			return nil, RealResult{}, fmt.Errorf("stencil: slowdown %v < 1 at band %d", slowdowns[i], i)
+		}
+	}
+
+	res := RealResult{PerBandSeconds: make([]float64, len(bands)), Iterations: iters}
+	src, dst := g.Clone(), g.Clone()
+	var mu sync.Mutex
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		var wg sync.WaitGroup
+		r0 := 0
+		for i, b := range bands {
+			lo, hi := r0, r0+b
+			r0 = hi
+			if b == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				t0 := time.Now()
+				step(src, dst, lo, hi)
+				compute := time.Since(t0)
+				if slowdowns != nil && slowdowns[i] > 1 {
+					time.Sleep(time.Duration(float64(compute) * (slowdowns[i] - 1)))
+				}
+				mu.Lock()
+				res.PerBandSeconds[i] += time.Since(t0).Seconds()
+				mu.Unlock()
+			}(i, lo, hi)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return src, res, nil
+}

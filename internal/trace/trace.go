@@ -1,0 +1,160 @@
+// Package trace records task timelines of simulated executions — which
+// engine ran what, when — and renders them as text Gantt charts. It is the
+// observability layer for the GPU kernel schedules (the paper's Figure 4(b)
+// shows exactly such a timeline) and for per-process application runs.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one scheduled task occurrence.
+type Span struct {
+	// Lane is the resource/engine/process the task ran on ("h2d", "compute").
+	Lane string
+	// Label identifies the task ("C-tile 3").
+	Label string
+	// Start and End are times in seconds.
+	Start, End float64
+}
+
+// Timeline accumulates spans.
+type Timeline struct {
+	spans []Span
+}
+
+// Add records a span; zero-duration spans are kept (they mark events).
+func (t *Timeline) Add(lane, label string, start, end float64) error {
+	if end < start || math.IsNaN(start) || math.IsNaN(end) {
+		return fmt.Errorf("trace: invalid span [%v, %v]", start, end)
+	}
+	t.spans = append(t.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+	return nil
+}
+
+// Spans returns a copy of the recorded spans in insertion order.
+func (t *Timeline) Spans() []Span {
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Makespan returns the latest span end (0 when empty).
+func (t *Timeline) Makespan() float64 {
+	var m float64
+	for _, s := range t.spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Lanes returns the distinct lane names in first-appearance order.
+func (t *Timeline) Lanes() []string {
+	seen := map[string]bool{}
+	var lanes []string
+	for _, s := range t.spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	return lanes
+}
+
+// BusyTime returns the summed span durations of one lane.
+func (t *Timeline) BusyTime(lane string) float64 {
+	var b float64
+	for _, s := range t.spans {
+		if s.Lane == lane {
+			b += s.End - s.Start
+		}
+	}
+	return b
+}
+
+// Validate checks that no lane has overlapping spans (engines are
+// sequential resources).
+func (t *Timeline) Validate() error {
+	byLane := map[string][]Span{}
+	for _, s := range t.spans {
+		byLane[s.Lane] = append(byLane[s.Lane], s)
+	}
+	for lane, spans := range byLane {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].End-1e-12 {
+				return fmt.Errorf("trace: lane %s: %q [%v,%v] overlaps %q [%v,%v]",
+					lane, spans[i].Label, spans[i].Start, spans[i].End,
+					spans[i-1].Label, spans[i-1].Start, spans[i-1].End)
+			}
+		}
+	}
+	return nil
+}
+
+// Render writes a text Gantt chart, one row per lane, width columns wide.
+func (t *Timeline) Render(w io.Writer, width int) error {
+	if width < 10 {
+		return errors.New("trace: width too small")
+	}
+	makespan := t.Makespan()
+	if makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	lanes := t.Lanes()
+	nameW := 0
+	for _, l := range lanes {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+	scale := float64(width) / makespan
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.spans {
+			if s.Lane != lane {
+				continue
+			}
+			a := int(s.Start * scale)
+			b := int(s.End * scale)
+			if b >= width {
+				b = width - 1
+			}
+			mark := byte('#')
+			if s.Label != "" {
+				mark = s.Label[0]
+			}
+			for i := a; i <= b; i++ {
+				row[i] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %5.1f%% busy\n",
+			nameW, lane, string(row), 100*t.BusyTime(lane)/makespan); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %s\n", nameW, "", ruler(width, makespan))
+	return err
+}
+
+// ruler produces a time axis like "0s ........ 1.2s".
+func ruler(width int, makespan float64) string {
+	left := "0s"
+	right := fmt.Sprintf("%.3gs", makespan)
+	dots := width - len(left) - len(right)
+	if dots < 1 {
+		dots = 1
+	}
+	return left + strings.Repeat(" ", dots) + right
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimelineBasics(t *testing.T) {
+	var tl Timeline
+	if err := tl.Add("h2d", "d0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Add("compute", "g0", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Add("h2d", "d1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.Makespan(); got != 3 {
+		t.Errorf("makespan = %v", got)
+	}
+	lanes := tl.Lanes()
+	if len(lanes) != 2 || lanes[0] != "h2d" || lanes[1] != "compute" {
+		t.Errorf("lanes = %v", lanes)
+	}
+	if got := tl.BusyTime("h2d"); got != 2 {
+		t.Errorf("h2d busy = %v", got)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+	if len(tl.Spans()) != 3 {
+		t.Error("spans lost")
+	}
+}
+
+func TestTimelineAddValidation(t *testing.T) {
+	var tl Timeline
+	if err := tl.Add("x", "a", 2, 1); err == nil {
+		t.Error("end < start accepted")
+	}
+	if err := tl.Add("x", "a", math.NaN(), 1); err == nil {
+		t.Error("NaN start accepted")
+	}
+}
+
+func TestTimelineValidateCatchesOverlap(t *testing.T) {
+	var tl Timeline
+	_ = tl.Add("engine", "a", 0, 2)
+	_ = tl.Add("engine", "b", 1, 3)
+	if err := tl.Validate(); err == nil {
+		t.Error("overlap not caught")
+	}
+	// Overlaps across different lanes are fine.
+	var ok Timeline
+	_ = ok.Add("e1", "a", 0, 2)
+	_ = ok.Add("e2", "b", 1, 3)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("cross-lane overlap rejected: %v", err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var tl Timeline
+	_ = tl.Add("h2d", "d0", 0, 1)
+	_ = tl.Add("compute", "g0", 1, 2)
+	var buf bytes.Buffer
+	if err := tl.Render(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"h2d", "compute", "busy", "0s", "2s", "d", "g"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Width validation and empty timelines.
+	if err := tl.Render(&buf, 2); err == nil {
+		t.Error("tiny width accepted")
+	}
+	var empty Timeline
+	buf.Reset()
+	if err := empty.Render(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty timeline not flagged")
+	}
+}
+
+func TestSpansIsACopy(t *testing.T) {
+	var tl Timeline
+	_ = tl.Add("a", "x", 0, 1)
+	s := tl.Spans()
+	s[0].Lane = "mutated"
+	if tl.Lanes()[0] != "a" {
+		t.Error("Spans() leaked internal state")
+	}
+}
