@@ -1,10 +1,15 @@
 # Convenience targets for the fpmpart repository.
 
 GO ?= go
+# Minimum total test coverage (percent) enforced by `make cover`.
+COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench fuzz experiments report cover clean
+.PHONY: all build test race bench fuzz experiments report cover check clean
 
 all: build test
+
+# The full CI gate: build + vet, tests, race detector.
+check: build test race
 
 build:
 	$(GO) build ./...
@@ -34,7 +39,9 @@ report:
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
-	$(GO) tool cover -func=cover.out | tail -1
+	@$(GO) tool cover -func=cover.out | tail -1
+	@$(GO) tool cover -func=cover.out | tail -1 | \
+		awk -v floor=$(COVER_FLOOR) '{sub(/%/, "", $$NF); if ($$NF+0 < floor) { printf "coverage %.1f%% below floor %s%%\n", $$NF, floor; exit 1 }}'
 
 clean:
 	rm -f cover.out experiment-report.md test_output.txt bench_output.txt

@@ -15,9 +15,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"fpmpart/internal/cliutil"
 	"fpmpart/internal/experiments"
 	"fpmpart/internal/gpukernel"
 	"fpmpart/internal/hw"
+	"fpmpart/internal/telemetry"
 )
 
 func main() {
@@ -31,7 +33,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "measurement-noise seed")
 		sigma    = flag.Float64("noise", 0.01, "relative measurement noise")
 		version  = flag.Int("kernel", 2, "GPU kernel version for partitioning experiments (1, 2 or 3)")
+		traceN   = flag.Int("trace-n", 60, "problem size (blocks) of the hybrid run exported by -trace-out")
+		tele     cliutil.TelemetryFlags
 	)
+	tele.Register()
 	flag.Parse()
 
 	if *list {
@@ -48,8 +53,14 @@ func main() {
 		}
 		return
 	}
+	stopTelemetry, err := tele.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	names := flag.Args()
-	if len(names) == 0 {
+	if len(names) == 0 && tele.TraceOut == "" {
+		// With -trace-out and no experiment names, only export the trace.
 		names = experiments.Names()
 	}
 	node := hw.NewIGNode()
@@ -87,6 +98,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d experiments)\n", *report, len(names))
+		stopTelemetry()
 		return
 	}
 	exit := 0
@@ -112,7 +124,41 @@ func main() {
 			}
 		}
 	}
+	if tele.TraceOut != "" {
+		if err := writeHybridTrace(&tele, node, *seed, *sigma, *traceN); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s (hybrid n=%d run, kernel v3, Perfetto-loadable)\n", tele.TraceOut, *traceN)
+		}
+	}
+	stopTelemetry()
 	os.Exit(exit)
+}
+
+// writeHybridTrace exports an FPM-partitioned hybrid run on the node as a
+// Chrome trace: one lane per CPU core, per GPU engine (host/h2d/compute/d2h,
+// the paper's Figure 4(b)) and for the pivot broadcast. Kernel version 3 is
+// used so the GPU engine pipeline is visible.
+func writeHybridTrace(tele *cliutil.TelemetryFlags, node *hw.Node, seed int64, sigma float64, n int) error {
+	return tele.WriteChromeTrace(func(ct *telemetry.ChromeTrace) error {
+		models, err := experiments.BuildModels(node, experiments.ModelOptions{
+			Seed: seed, NoiseSigma: sigma, Version: gpukernel.V3,
+		})
+		if err != nil {
+			return err
+		}
+		part, err := models.PartitionFPM(n)
+		if err != nil {
+			return err
+		}
+		_, tl, err := models.RunHybridTraced(part.Units(), n, 5)
+		if err != nil {
+			return err
+		}
+		ct.AddTimelineByLane(tl)
+		return nil
+	})
 }
 
 func writeCSV(dir string, tab *experiments.Table) error {

@@ -17,10 +17,13 @@ import (
 	"strings"
 
 	"fpmpart/internal/bench"
+	"fpmpart/internal/cliutil"
 	"fpmpart/internal/fpm"
 	"fpmpart/internal/gpukernel"
 	"fpmpart/internal/hw"
 	"fpmpart/internal/stats"
+	"fpmpart/internal/telemetry"
+	"fpmpart/internal/trace"
 )
 
 func main() {
@@ -33,8 +36,15 @@ func main() {
 		maxSize  = flag.Float64("max", 4000, "largest problem size (blocks)")
 		outDir   = flag.String("out", "", "write <device>.fpm model files into this directory")
 		adaptive = flag.Bool("adaptive", false, "place points adaptively where interpolation mispredicts instead of on a fixed grid")
+		tele     cliutil.TelemetryFlags
 	)
+	tele.Register()
 	flag.Parse()
+	stopTelemetry, err := tele.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTelemetry()
 
 	node := hw.NewIGNode()
 	sizes, err := fpm.Grid(8, *maxSize, *points, "geometric")
@@ -107,6 +117,31 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown device %q", *device))
 	}
+	if tele.TraceOut != "" {
+		if err := writeEngineTrace(&tele, node); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (GPU engine schedules, Perfetto-loadable)\n", tele.TraceOut)
+	}
+}
+
+// writeEngineTrace exports the overlapped (version 3) kernel's engine
+// schedule on every GPU — the paper's Figure 4(b) — as a Chrome trace, one
+// process per GPU with h2d/compute/d2h threads.
+func writeEngineTrace(tele *cliutil.TelemetryFlags, node *hw.Node) error {
+	return tele.WriteChromeTrace(func(ct *telemetry.ChromeTrace) error {
+		for _, g := range node.GPUs {
+			var tl trace.Timeline
+			if _, err := gpukernel.ScheduleV3(gpukernel.Invocation{
+				GPU: g, BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
+				Rows: 45, Cols: 45,
+			}, &tl); err != nil {
+				return err
+			}
+			ct.AddTimeline(g.Name, &tl)
+		}
+		return nil
+	})
 }
 
 func writeModel(dir, name string, m *fpm.PiecewiseLinear) error {

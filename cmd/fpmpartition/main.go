@@ -97,6 +97,12 @@ func main() {
 	report("FPM", fpmRes)
 	report("CPM", cpmRes)
 	report("homog.", homRes)
+
+	state := "converged"
+	if !fpmRes.Converged {
+		state = "truncated at the iteration cap"
+	}
+	fmt.Printf("\nFPM solver diagnostics: %d bisection iterations, %s\n", fpmRes.Iterations, state)
 }
 
 // loadModels replaces the benchmarked models with ones read from

@@ -27,11 +27,13 @@ import (
 
 	"fpmpart/internal/app"
 	"fpmpart/internal/blas"
+	"fpmpart/internal/cliutil"
 	"fpmpart/internal/experiments"
 	"fpmpart/internal/gpukernel"
 	"fpmpart/internal/hw"
 	"fpmpart/internal/layout"
 	"fpmpart/internal/matrix"
+	"fpmpart/internal/telemetry"
 	"fpmpart/internal/trace"
 )
 
@@ -44,27 +46,31 @@ func main() {
 		procs   = flag.Int("procs", 8, "real mode: number of processes")
 		version = flag.Int("kernel", 2, "sim: GPU kernel version")
 		seed    = flag.Int64("seed", 1, "measurement-noise seed")
+		tele    cliutil.TelemetryFlags
 	)
+	tele.Register()
 	flag.Parse()
+	stopTelemetry, err := tele.Start()
+	if err != nil {
+		fatal(err)
+	}
 	switch *mode {
 	case "sim":
-		if err := runSim(*config, *n, *version, *seed); err != nil {
-			fatal(err)
-		}
+		err = runSim(&tele, *config, *n, *version, *seed)
 	case "real":
-		if err := runReal(*n, *b, *procs); err != nil {
-			fatal(err)
-		}
+		err = runReal(*n, *b, *procs)
 	case "trace":
-		if err := runTrace(*n); err != nil {
-			fatal(err)
-		}
+		err = runTrace(*n)
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	stopTelemetry()
+	if err != nil {
+		fatal(err)
 	}
 }
 
-func runSim(config string, n, version int, seed int64) error {
+func runSim(tele *cliutil.TelemetryFlags, config string, n, version int, seed int64) error {
 	node := hw.NewIGNode()
 	models, err := experiments.BuildModels(node, experiments.ModelOptions{
 		Seed: seed, Version: gpukernel.Version(version),
@@ -110,9 +116,25 @@ func runSim(config string, n, version int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	res, err := app.Simulate(node, procs, bl, opts)
-	if err != nil {
-		return err
+	var res app.SimResult
+	if tele.TraceOut != "" {
+		var tl *trace.Timeline
+		res, tl, err = app.SimulateTraced(node, procs, bl, opts, 5)
+		if err != nil {
+			return err
+		}
+		if err := tele.WriteChromeTrace(func(ct *telemetry.ChromeTrace) error {
+			ct.AddTimelineByLane(tl)
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (first 5 iterations, Perfetto-loadable)\n", tele.TraceOut)
+	} else {
+		res, err = app.Simulate(node, procs, bl, opts)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("configuration %s, %d x %d blocks (b=%d), %d processes\n",
 		config, n, n, node.BlockSize, len(procs))

@@ -56,6 +56,7 @@ import (
 	"fpmpart/internal/layout"
 	"fpmpart/internal/partition"
 	"fpmpart/internal/stencil"
+	"fpmpart/internal/telemetry"
 	"fpmpart/internal/trace"
 )
 
@@ -371,3 +372,40 @@ func DiagnoseModel(m *Model) []ModelTimeInversion { return fpm.Diagnose(m) }
 // DescribeModel renders a one-line summary of a model: domain, speed range
 // and any time inversions.
 func DescribeModel(m *Model) string { return fpm.DescribeModel(m) }
+
+// Telemetry: the library instruments its partitioners, model builders and
+// simulations against a process-wide registry (internal/telemetry). Recording
+// is off by default and effectively free while disabled; enable it and attach
+// sinks to observe a run.
+
+// TelemetryRegistry holds counters, gauges, histograms and spans, and
+// exports them as Prometheus text, JSON snapshots and Chrome traces.
+type TelemetryRegistry = telemetry.Registry
+
+// Telemetry returns the default registry every fpmpart package records into.
+func Telemetry() *TelemetryRegistry { return telemetry.Default() }
+
+// EnableTelemetry switches recording on the default registry.
+func EnableTelemetry(on bool) { telemetry.Default().SetEnabled(on) }
+
+// TelemetryEventLog is a structured JSONL event sink for a registry.
+type TelemetryEventLog = telemetry.EventLog
+
+// NewTelemetryEventLog returns an event log writing one JSON object per
+// line to w; install it with Telemetry().SetEventLog.
+func NewTelemetryEventLog(w io.Writer) *TelemetryEventLog { return telemetry.NewEventLog(w) }
+
+// ChromeTrace accumulates spans and writes Chrome trace_event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+type ChromeTrace = telemetry.ChromeTrace
+
+// NewChromeTrace returns an empty Chrome trace.
+func NewChromeTrace() *ChromeTrace { return telemetry.NewChromeTrace() }
+
+// SimulateHybridTraced is SimulateHybrid additionally reconstructing the run
+// as a per-process timeline: feed it to ChromeTrace.AddTimelineByLane to get
+// one lane per CPU core and per GPU engine (the paper's Figure 4(b), node
+// wide). maxIters bounds the traced iterations (0 = all n).
+func SimulateHybridTraced(models *NodeModels, units []int, n, maxIters int) (SimResult, *ScheduleTimeline, error) {
+	return models.RunHybridTraced(units, n, maxIters)
+}

@@ -292,3 +292,64 @@ func TestFacadeDiagnostics(t *testing.T) {
 		t.Errorf("description missing inversions: %s", d)
 	}
 }
+
+func TestFacadeTelemetry(t *testing.T) {
+	reg := Telemetry()
+	if reg.Enabled() {
+		t.Fatal("telemetry enabled by default")
+	}
+	// Disabled: partitioning must record nothing.
+	gpu := MustModel([]ModelPoint{{Size: 100, Speed: 900}, {Size: 4000, Speed: 800}})
+	cpu := MustModel([]ModelPoint{{Size: 100, Speed: 80}, {Size: 4000, Speed: 105}})
+	devs := []Device{{Name: "gpu", Model: gpu}, {Name: "cpu", Model: cpu}}
+	if _, err := PartitionFPM(devs, 2000); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Snapshot()["partition_runs_total{algorithm=\"fpm\"}"]
+
+	var events strings.Builder
+	EnableTelemetry(true)
+	reg.SetEventLog(NewTelemetryEventLog(&events))
+	defer func() {
+		reg.SetEventLog(nil)
+		EnableTelemetry(false)
+	}()
+	res, err := PartitionFPM(devs, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations <= 0 || !res.Converged {
+		t.Errorf("diagnostics: iterations=%d converged=%v", res.Iterations, res.Converged)
+	}
+	after := reg.Snapshot()["partition_runs_total{algorithm=\"fpm\"}"]
+	if before == after {
+		t.Errorf("enabled run did not move partition_runs_total (%v -> %v)", before, after)
+	}
+	if !strings.Contains(events.String(), "partition.fpm.iteration") {
+		t.Error("no per-iteration events in the log")
+	}
+
+	// Chrome export of a traced hybrid run via the facade.
+	node := NewIGNode()
+	models, err := BuildNodeModels(node, ModelOptions{Seed: 1, Version: KernelV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionFPM(models.Devices(), 40*40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tl, err := SimulateHybridTraced(models, part.Units(), 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := NewChromeTrace()
+	ct.AddTimelineByLane(tl)
+	var buf strings.Builder
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"traceEvents\"") || !strings.Contains(buf.String(), "h2d") {
+		t.Error("Chrome trace missing traceEvents or engine lanes")
+	}
+}

@@ -1,0 +1,72 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"fpmpart/internal/gpukernel"
+	"fpmpart/internal/hw"
+)
+
+func TestSimulateTracedLanesAndShape(t *testing.T) {
+	node := hw.NewIGNode()
+	ps, err := Processes(node, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := uniformLayout(t, len(ps), 40)
+	opts := SimOptions{Version: gpukernel.V3, Comm: DefaultComm()}
+	res, tl, err := SimulateTraced(node, ps, bl, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(node, ps, bl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds != plain.TotalSeconds {
+		t.Errorf("traced result %v differs from plain %v", res.TotalSeconds, plain.TotalSeconds)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Errorf("timeline overlaps: %v", err)
+	}
+
+	lanes := map[string]bool{}
+	for _, l := range tl.Lanes() {
+		lanes[l] = true
+	}
+	var haveCPU, haveHost, haveEngine bool
+	for l := range lanes {
+		switch {
+		case strings.HasPrefix(l, "socket") && strings.Contains(l, "/core"):
+			haveCPU = true
+		case strings.HasSuffix(l, "/host"):
+			haveHost = true
+		case strings.HasSuffix(l, "/h2d") || strings.HasSuffix(l, "/compute"):
+			haveEngine = true
+		}
+	}
+	if !haveCPU || !haveHost || !haveEngine {
+		t.Errorf("missing lane kinds (cpu=%v host=%v engine=%v) in %v",
+			haveCPU, haveHost, haveEngine, tl.Lanes())
+	}
+	if !lanes["node/broadcast"] {
+		t.Errorf("no broadcast lane in %v", tl.Lanes())
+	}
+
+	// Three traced iterations: the slot structure means the makespan is
+	// 3 × (maxIter + commPerIter) = 3/40 of the full run.
+	want := 3.0 / 40.0 * plain.TotalSeconds
+	if got := tl.Makespan(); got < 0.99*want || got > 1.01*want {
+		t.Errorf("traced makespan %v, want ≈%v", got, want)
+	}
+
+	// Unbounded tracing covers every iteration.
+	_, full, err := SimulateTraced(node, ps, bl, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Makespan(); got < 0.99*plain.TotalSeconds || got > 1.01*plain.TotalSeconds {
+		t.Errorf("full traced makespan %v, want ≈%v", got, plain.TotalSeconds)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"fpmpart/internal/fpm"
 	"fpmpart/internal/stats"
+	"fpmpart/internal/telemetry"
 )
 
 // Adaptive model construction: instead of a fixed grid, measurement points
@@ -83,6 +84,7 @@ func BuildModelAdaptive(k Kernel, lo, hi float64, opts AdaptiveOptions) (*fpm.Pi
 		for _, v := range est.Sample().Values() {
 			rep.TotalTime += v
 		}
+		recordPoint(k.Name(), x, est, mean)
 		return mean, nil
 	}
 
@@ -112,6 +114,10 @@ func BuildModelAdaptive(k Kernel, lo, hi float64, opts AdaptiveOptions) (*fpm.Pi
 		}
 		if math.Abs(predicted-actual)/actual > opts.RelTol {
 			queue = append(queue, interval{iv.a, mid}, interval{mid, iv.b})
+			adaptiveSplits.Inc()
+			telemetry.Default().Event("bench.adaptive.split",
+				"kernel", k.Name(), "lo", iv.a, "hi", iv.b,
+				"predicted", predicted, "actual", actual)
 		}
 	}
 

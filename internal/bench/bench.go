@@ -115,6 +115,7 @@ func BuildModel(k Kernel, sizes []float64, opts Options) (*fpm.PiecewiseLinear, 
 		for _, v := range est.Sample().Values() {
 			rep.TotalTime += v
 		}
+		recordPoint(k.Name(), x, est, mean)
 		samples = append(samples, fpm.TimeSample{Size: x, Seconds: mean})
 	}
 	if len(samples) == 0 {

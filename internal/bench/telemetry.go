@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fpmpart/internal/stats"
+	"fpmpart/internal/telemetry"
+)
+
+// Model-construction metrics: per-point kernel timings, repetition counts,
+// and outlier rejections — the instrumentation of the measurement pipeline
+// that measured-model systems depend on. Free while telemetry is disabled.
+var (
+	pointSeconds     = telemetry.Default().Histogram("bench_point_seconds", nil)
+	pointReps        = telemetry.Default().Histogram("bench_point_reps", telemetry.ExpBuckets(1, 2, 8))
+	kernelRunsTotal  = telemetry.Default().Counter("bench_kernel_runs_total")
+	outliersTotal    = telemetry.Default().Counter("bench_outliers_rejected_total")
+	pointsTotal      = telemetry.Default().Counter("bench_points_total")
+	unconvergedTotal = telemetry.Default().Counter("bench_points_unconverged_total")
+	adaptiveSplits   = telemetry.Default().Counter("bench_adaptive_splits_total")
+)
+
+// recordPoint feeds one measured model point into the metrics and event
+// log.
+func recordPoint(kernel string, size float64, est *stats.Estimator, mean float64) {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return
+	}
+	pointsTotal.Inc()
+	pointSeconds.Observe(mean)
+	pointReps.Observe(float64(est.N()))
+	kernelRunsTotal.Add(float64(est.N()))
+	outliersTotal.Add(float64(est.Rejected()))
+	if !est.Converged() {
+		unconvergedTotal.Inc()
+	}
+	reg.Event("bench.point",
+		"kernel", kernel,
+		"size", size,
+		"mean_seconds", mean,
+		"reps", est.N(),
+		"rejected", est.Rejected(),
+		"converged", est.Converged(),
+	)
+}

@@ -1,0 +1,13 @@
+package cluster
+
+import "fpmpart/internal/telemetry"
+
+// Cluster communication metrics, split by locality: the intra/inter ratio is
+// what makes the column-based arrangement's communication minimisation
+// visible. Free while telemetry is disabled.
+var (
+	intraMessagesTotal = telemetry.Default().Counter("cluster_messages_total", "scope", "intra")
+	interMessagesTotal = telemetry.Default().Counter("cluster_messages_total", "scope", "inter")
+	intraBytesTotal    = telemetry.Default().Counter("cluster_bytes_total", "scope", "intra")
+	interBytesTotal    = telemetry.Default().Counter("cluster_bytes_total", "scope", "inter")
+)

@@ -1,0 +1,10 @@
+package comm
+
+import "fpmpart/internal/telemetry"
+
+// Communication metrics: message and byte counts of every scheduled
+// transfer batch. Free while telemetry is disabled.
+var (
+	messagesTotal = telemetry.Default().Counter("comm_messages_total")
+	bytesTotal    = telemetry.Default().Counter("comm_bytes_total")
+)

@@ -1,0 +1,44 @@
+package dynamic
+
+import (
+	"math"
+
+	"fpmpart/internal/telemetry"
+)
+
+// Balancer metrics: every rebalance decision and its migration volume, plus
+// the imbalance the balancer last observed — the signals behind the paper's
+// static-vs-dynamic ablation. Free while telemetry is disabled.
+var (
+	rebalancesTotal = telemetry.Default().Counter("dynamic_rebalances_total")
+	unitsMovedTotal = telemetry.Default().Counter("dynamic_units_moved_total")
+	imbalanceGauge  = telemetry.Default().Gauge("dynamic_imbalance")
+	stepMakespan    = telemetry.Default().Histogram("dynamic_step_makespan_seconds", nil)
+)
+
+// recordStep feeds one balancer iteration into the metrics and, when it
+// triggered a redistribution, the event log.
+func recordStep(it int, step Step) {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return
+	}
+	if !math.IsInf(step.Imbalance, 0) && !math.IsNaN(step.Imbalance) {
+		imbalanceGauge.Set(step.Imbalance)
+	}
+	stepMakespan.Observe(step.Makespan)
+	if step.Moved > 0 || step.MigrationSeconds > 0 {
+		rebalancesTotal.Inc()
+		unitsMovedTotal.Add(float64(step.Moved))
+		var imb any
+		if !math.IsInf(step.Imbalance, 0) && !math.IsNaN(step.Imbalance) {
+			imb = step.Imbalance
+		}
+		reg.Event("dynamic.rebalance",
+			"iteration", it,
+			"imbalance", imb,
+			"moved", step.Moved,
+			"migration_seconds", step.MigrationSeconds,
+		)
+	}
+}

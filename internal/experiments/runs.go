@@ -6,6 +6,7 @@ import (
 	"fpmpart/internal/app"
 	"fpmpart/internal/layout"
 	"fpmpart/internal/partition"
+	"fpmpart/internal/trace"
 )
 
 // CPMRefBlocks is the problem size at which the CPM baseline's constants
@@ -38,6 +39,21 @@ func (m *Models) RunHybrid(units []int, n int) (app.SimResult, error) {
 		return app.SimResult{}, err
 	}
 	return runWithUnits(m, procs, units, n)
+}
+
+// RunHybridTraced is RunHybrid additionally reconstructing the run as a
+// per-process timeline for Chrome-trace export (see app.SimulateTraced);
+// maxIters bounds the traced iterations (0 = all n).
+func (m *Models) RunHybridTraced(units []int, n, maxIters int) (app.SimResult, *trace.Timeline, error) {
+	procs, err := app.Processes(m.Node, app.Hybrid)
+	if err != nil {
+		return app.SimResult{}, nil, err
+	}
+	bl, err := m.HybridLayout(procs, units, n)
+	if err != nil {
+		return app.SimResult{}, nil, err
+	}
+	return app.SimulateTraced(m.Node, procs, bl, m.simOptions(), maxIters)
 }
 
 // PartitionFPM partitions an n×n-block problem (n² units) over the node's

@@ -127,16 +127,25 @@ func Time(v Version, inv Invocation) (Breakdown, error) {
 	if err := inv.validate(); err != nil {
 		return Breakdown{}, err
 	}
+	var (
+		bd  Breakdown
+		err error
+	)
 	switch v {
 	case V1:
-		return timeV1(inv)
+		bd, err = timeV1(inv)
 	case V2:
-		return timeV2(inv)
+		bd, err = timeV2(inv)
 	case V3:
-		return timeV3(inv)
+		bd, err = timeV3(inv)
 	default:
 		return Breakdown{}, fmt.Errorf("gpukernel: unknown version %d", int(v))
 	}
+	if err != nil {
+		return Breakdown{}, err
+	}
+	recordInvocation(v, bd)
+	return bd, nil
 }
 
 // Speed returns the kernel speed in flops/second at the invocation's

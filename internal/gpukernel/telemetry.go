@@ -1,0 +1,25 @@
+package gpukernel
+
+import "fpmpart/internal/telemetry"
+
+// Kernel-invocation metrics, recorded into the process-wide registry (free
+// while telemetry is disabled). One counter per kernel version so the
+// Prometheus exposition separates the paper's three implementations.
+var (
+	invocationCounters = map[Version]*telemetry.Counter{
+		V1: telemetry.Default().Counter("gpukernel_invocations_total", "version", V1.String()),
+		V2: telemetry.Default().Counter("gpukernel_invocations_total", "version", V2.String()),
+		V3: telemetry.Default().Counter("gpukernel_invocations_total", "version", V3.String()),
+	}
+	makespanSeconds = telemetry.Default().Histogram("gpukernel_makespan_seconds", nil)
+	outOfCoreTotal  = telemetry.Default().Counter("gpukernel_out_of_core_invocations_total")
+)
+
+// recordInvocation feeds one computed kernel time into the metrics.
+func recordInvocation(v Version, bd Breakdown) {
+	invocationCounters[v].Inc()
+	makespanSeconds.Observe(bd.Makespan)
+	if !bd.InMemory {
+		outOfCoreTotal.Inc()
+	}
+}

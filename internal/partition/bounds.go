@@ -50,6 +50,8 @@ func FPMWithFloors(devices []Device, n int, floors Floors, opts FPMOptions) (Res
 	}
 	pinned := make([]bool, len(devices))
 	units := make([]int, len(devices))
+	totalIterations := 0
+	converged := true
 	for round := 0; round < len(devices)+1; round++ {
 		// Solve for the unpinned devices and the remaining work.
 		var free []Device
@@ -70,6 +72,8 @@ func FPMWithFloors(devices []Device, n int, floors Floors, opts FPMOptions) (Res
 		if err != nil {
 			return Result{}, err
 		}
+		totalIterations += res.Iterations
+		converged = converged && res.Converged
 		newlyPinned := false
 		for j, i := range freeIdx {
 			u := res.Assignments[j].Units
@@ -85,5 +89,8 @@ func FPMWithFloors(devices []Device, n int, floors Floors, opts FPMOptions) (Res
 			break
 		}
 	}
-	return finish(devices, units), nil
+	res := finish(devices, units)
+	res.Iterations = totalIterations
+	res.Converged = converged
+	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fpmpart/internal/fpm"
+	"fpmpart/internal/telemetry"
 )
 
 // FPMOptions tunes the FPM-based partitioner.
@@ -70,14 +71,29 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	}
 	lo := 0.0
 	target := float64(n)
+	iterations := 0
+	converged := false
+	reg := telemetry.Default()
 	for i := 0; i < opts.MaxIterations; i++ {
+		iterations = i + 1
 		mid := (lo + hi) / 2
 		if total(mid) < target {
 			lo = mid
 		} else {
 			hi = mid
 		}
+		if reg.Enabled() {
+			// Per-iteration share evolution: how each device's tentative
+			// allocation x_i(T) moves as the bisection narrows T*.
+			evo := make([]float64, len(invs))
+			for d, inv := range invs {
+				evo[d] = inv.SizeFor(hi)
+			}
+			reg.Event("partition.fpm.iteration",
+				"iteration", iterations, "t_lo", lo, "t_hi", hi, "shares", evo)
+		}
 		if hi-lo <= opts.Tolerance*(1+hi) {
+			converged = true
 			break
 		}
 	}
@@ -100,7 +116,11 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return finish(devices, units), nil
+	res := finish(devices, units)
+	res.Iterations = iterations
+	res.Converged = converged
+	recordResult("fpm", fpmRunsTotal, res)
+	return res, nil
 }
 
 // FPMIterative is the alternative fixed-point formulation of the FPM
@@ -125,7 +145,10 @@ func FPMIterative(devices []Device, n int, maxIter int) (Result, error) {
 	}
 	cs := caps(devices)
 	clampShares(shares, cs, float64(n))
+	iterations := 0
+	converged := false
 	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
 		speeds := make([]float64, p)
 		var sum float64
 		for i, d := range devices {
@@ -146,6 +169,7 @@ func FPMIterative(devices []Device, n int, maxIter int) (Result, error) {
 		}
 		shares = next
 		if delta < 1e-9*float64(n) {
+			converged = true
 			break
 		}
 	}
@@ -153,7 +177,11 @@ func FPMIterative(devices []Device, n int, maxIter int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return finish(devices, units), nil
+	res := finish(devices, units)
+	res.Iterations = iterations
+	res.Converged = converged
+	recordResult("fpm-iterative", fpmIterativeTotal, res)
+	return res, nil
 }
 
 // clampShares enforces per-device caps and rescales the uncapped remainder

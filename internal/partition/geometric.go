@@ -208,5 +208,7 @@ func Geometric(devices []Device, n int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return finish(devices, units), nil
+	res := finish(devices, units)
+	recordResult("geometric", geomRunsTotal, res)
+	return res, nil
 }

@@ -51,6 +51,15 @@ type Result struct {
 	// MaxTime and MinTime are the extreme predicted per-device times over
 	// devices that received work; their ratio measures predicted imbalance.
 	MaxTime, MinTime float64
+	// Iterations is the number of solver iterations performed (bisection
+	// steps for FPM, fixed-point rounds for FPMIterative); closed-form
+	// partitioners report 0.
+	Iterations int
+	// Converged reports whether the solver met its tolerance before
+	// exhausting its iteration budget. A false value means the distribution
+	// was truncated at MaxIterations and callers should treat the result
+	// with suspicion; closed-form partitioners are always converged.
+	Converged bool
 }
 
 // Units returns the assigned units in device order.
@@ -100,8 +109,10 @@ func validate(devices []Device, n int) error {
 }
 
 // finish converts integer unit counts into a Result with predicted times.
+// The result is marked Converged; iterative solvers overwrite the
+// diagnostics afterwards.
 func finish(devices []Device, units []int) Result {
-	res := Result{Assignments: make([]Assignment, len(devices))}
+	res := Result{Assignments: make([]Assignment, len(devices)), Converged: true}
 	res.MinTime = math.Inf(1)
 	for i, d := range devices {
 		t := fpm.Time(d.Model, float64(units[i]))
@@ -138,7 +149,9 @@ func Homogeneous(devices []Device, n int) (Result, error) {
 			units[i]++
 		}
 	}
-	return finish(devices, units), nil
+	res := finish(devices, units)
+	recordResult("homogeneous", homRunsTotal, res)
+	return res, nil
 }
 
 // CPM distributes n units in proportion to constant speeds probed from each
@@ -167,7 +180,9 @@ func CPM(devices []Device, n int, refUnits float64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return finish(devices, units), nil
+	res := finish(devices, units)
+	recordResult("cpm", cpmRunsTotal, res)
+	return res, nil
 }
 
 func caps(devices []Device) []float64 {

@@ -97,7 +97,16 @@ type Resource struct {
 	name   string
 	freeAt float64
 	busy   float64 // accumulated busy seconds, for utilisation accounting
+	// observe, when set, is called with every scheduled task — the hook the
+	// engine-span telemetry (trace.Timeline, Chrome export) attaches to.
+	observe func(label string, start, end float64)
 }
+
+// Observe installs (or, with nil, removes) a task observer: every Exec and
+// ExecLabeled call reports its scheduled (label, start, end) to fn. The
+// GPU kernel schedules use this to feed engine spans to trace.Timeline and
+// from there to the Chrome trace export.
+func (r *Resource) Observe(fn func(label string, start, end float64)) { r.observe = fn }
 
 // NewResource returns an idle resource.
 func NewResource(name string) *Resource { return &Resource{name: name} }
@@ -115,6 +124,11 @@ func (r *Resource) BusyTime() float64 { return r.busy }
 // resource for dur seconds; it returns the task's start and finish times.
 // dur must be non-negative.
 func (r *Resource) Exec(ready, dur float64) (start, finish float64) {
+	return r.ExecLabeled("", ready, dur)
+}
+
+// ExecLabeled is Exec with a task label reported to the observer, if any.
+func (r *Resource) ExecLabeled(label string, ready, dur float64) (start, finish float64) {
 	if dur < 0 || math.IsNaN(dur) {
 		panic(fmt.Sprintf("sim: invalid duration %v on %s", dur, r.name))
 	}
@@ -122,6 +136,9 @@ func (r *Resource) Exec(ready, dur float64) (start, finish float64) {
 	finish = start + dur
 	r.freeAt = finish
 	r.busy += dur
+	if r.observe != nil {
+		r.observe(label, start, finish)
+	}
 	return start, finish
 }
 

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog writes structured JSON events, one object per line (JSONL). It
+// is safe for concurrent use; each Emit produces exactly one line.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+
+	epoch time.Time
+	// now returns seconds since the epoch; replaceable for tests.
+	now func() float64
+}
+
+// NewEventLog returns an event log writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{w: w, epoch: time.Now()}
+	l.now = func() float64 { return time.Since(l.epoch).Seconds() }
+	return l
+}
+
+// SetClock replaces the log's clock (seconds since an arbitrary epoch).
+func (l *EventLog) SetClock(now func() float64) { l.now = now }
+
+// Emit writes one event with alternating key/value fields, e.g.
+//
+//	log.Emit("partition.fpm.done", "devices", 3, "iterations", 12)
+//
+// Keys must be strings; values anything encoding/json accepts.
+func (l *EventLog) Emit(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	fields := map[string]any{"event": event, "t": l.now()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		fields[k] = kv[i+1]
+	}
+	line, err := json.Marshal(fields)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if err != nil {
+		// Unencodable value: record the failure without losing the event.
+		line, _ = json.Marshal(map[string]any{"event": event, "t": fields["t"], "error": err.Error()})
+	}
+	line = append(line, '\n')
+	if _, werr := l.w.Write(line); werr != nil {
+		l.err = werr
+	}
+}
+
+// Err returns the first write error, if any.
+func (l *EventLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// SetEventLog installs (or, with nil, removes) the registry's event sink.
+func (r *Registry) SetEventLog(l *EventLog) {
+	if l == nil {
+		r.events.Store(nil)
+		return
+	}
+	r.events.Store(l)
+}
+
+// EventLog returns the registry's current event sink, or nil.
+func (r *Registry) EventLog() *EventLog { return r.events.Load() }
+
+// Event emits a structured event to the registry's event log. It is a
+// no-op while the registry is disabled or has no sink. The variadic fields
+// allocate, so very hot call sites should guard with Enabled().
+func (r *Registry) Event(event string, kv ...any) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.events.Load().Emit(event, kv...)
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// formatValue renders a float the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the text exposition format, series
+// sorted by identity so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.sortedMetrics()
+	typed := map[string]bool{}
+	for _, m := range metrics {
+		mm := m.meta()
+		if !typed[mm.name] {
+			typed[mm.name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", mm.name, m.promKind()); err != nil {
+				return err
+			}
+		}
+		switch v := m.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %s\n", mm.id(), formatValue(v.Value())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", mm.id(), formatValue(v.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			var cum uint64
+			for i, b := range v.bounds {
+				cum += v.counts[i].Load()
+				suffix := mm.labelSuffix("le", formatValue(b))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", mm.name, suffix, cum); err != nil {
+					return err
+				}
+			}
+			cum += v.counts[len(v.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", mm.name, mm.labelSuffix("le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", mm.name, mm.labelSuffix("", ""), formatValue(v.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", mm.name, mm.labelSuffix("", ""), v.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns an expvar-style view of every metric: series identity →
+// value (counters and gauges) or {count, sum, buckets} (histograms).
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, m := range r.sortedMetrics() {
+		out[m.meta().id()] = m.snapshotValue()
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON (keys sorted by
+// encoding/json, so the output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  expvar-style JSON snapshot
+//	/trace.json    Chrome trace of the registry's tracer spans
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ct := NewChromeTrace()
+		ct.AddTracer("tracer", r.Tracer())
+		_ = ct.Write(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr in a background
+// goroutine and returns the bound address (useful with ":0") and a shutdown
+// function. The caller owns the shutdown.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"fpmpart/internal/trace"
+)
+
+// TracedSpan is one finished span of a Tracer.
+type TracedSpan struct {
+	// Lane groups spans onto one timeline row / Chrome-trace thread
+	// ("partition", "GTX680/h2d"). Child spans inherit their parent's lane,
+	// so nesting renders as stacked slices in Perfetto.
+	Lane string
+	// Name labels the span ("bisection", "point n=1200").
+	Name string
+	// Start and End are seconds since the tracer's epoch.
+	Start, End float64
+	// Depth is the nesting level (0 = root span).
+	Depth int
+}
+
+// Tracer records hierarchical wall-clock spans. It is tied to a Registry:
+// while the registry is disabled, Start returns a nil span and recording
+// costs one atomic load and zero allocations (all Span methods accept nil
+// receivers).
+type Tracer struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	spans []TracedSpan
+
+	epoch time.Time
+	// now returns seconds since the epoch; replaceable for tests.
+	now func() float64
+}
+
+// NewTracer returns a tracer recording into reg's enabled gate (nil reg =
+// always enabled, for standalone use).
+func NewTracer(reg *Registry) *Tracer {
+	t := &Tracer{reg: reg, epoch: time.Now()}
+	t.now = func() float64 { return time.Since(t.epoch).Seconds() }
+	return t
+}
+
+// SetClock replaces the tracer's clock with one returning seconds since an
+// arbitrary epoch — used by tests and by simulations recording virtual time.
+func (t *Tracer) SetClock(now func() float64) { t.now = now }
+
+// Tracer returns the registry's span tracer, created on first use.
+func (r *Registry) Tracer() *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tracer == nil {
+		r.tracer = NewTracer(r)
+	}
+	return r.tracer
+}
+
+// Span is an in-progress operation. A nil Span is valid and inert.
+type Span struct {
+	tr    *Tracer
+	lane  string
+	name  string
+	start float64
+	depth int
+}
+
+// Start opens a root span on the given lane. It returns nil (still safe to
+// use) when the tracer's registry is disabled.
+func (t *Tracer) Start(lane, name string) *Span {
+	if t == nil || (t.reg != nil && !t.reg.enabled.Load()) {
+		return nil
+	}
+	return &Span{tr: t, lane: lane, name: name, start: t.now()}
+}
+
+// Child opens a nested span on the parent's lane.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{tr: s.tr, lane: s.lane, name: name, start: s.tr.now(), depth: s.depth + 1}
+}
+
+// End finishes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.tr.now()
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, TracedSpan{
+		Lane: s.lane, Name: s.name, Start: s.start, End: end, Depth: s.depth,
+	})
+	s.tr.mu.Unlock()
+}
+
+// Spans returns a copy of the finished spans in completion order.
+func (t *Tracer) Spans() []TracedSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TracedSpan(nil), t.spans...)
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// Timeline converts the recorded spans into a trace.Timeline (lanes map to
+// timeline lanes), bridging the tracer to the text Gantt renderer.
+func (t *Tracer) Timeline() (*trace.Timeline, error) {
+	var tl trace.Timeline
+	for _, s := range t.Spans() {
+		if err := tl.Add(s.Lane, s.Name, s.Start, s.End); err != nil {
+			return nil, err
+		}
+	}
+	return &tl, nil
+}
