@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench fuzz experiments report cover check clean
+.PHONY: all build test race bench bench-all fuzz experiments report cover check clean
 
 all: build test
 
@@ -21,8 +21,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Key benchmarks captured in the committed baseline. The sequential/parallel
+# pairs demonstrate the worker-pool speedup for model building and experiment
+# sweeps; the partition benchmarks track solver cost.
+BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel
+BENCH_DATE := $(shell date -u +%Y-%m-%d)
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... | tee bench_output.txt
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+# Run every benchmark once without writing a baseline file.
+bench-all:
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

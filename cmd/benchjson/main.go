@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, for committed benchmark
+// baselines (BENCH_<date>.json; see `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_$(date +%F).json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name including sub-benchmark path, without the
+	// trailing -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the preceding
+	// "pkg:" line).
+	Package string `json:"package"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name.
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+}
+
+// Baseline is the top-level document.
+type Baseline struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version,omitempty"`
+	GOOS      string   `json:"goos,omitempty"`
+	GOARCH    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	base := Baseline{Date: time.Now().UTC().Format("2006-01-02")}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "goos: "):
+			base.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			base.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line, pkg); ok {
+				base.Results = append(base.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	base.GoVersion = strings.TrimPrefix(runtime.Version(), "go")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkName-8  N  1234 ns/op [...]" line.
+func parseLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Package: pkg, Procs: 1}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		case "MB/s":
+			m := v
+			r.MBPerS = &m
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -34,6 +34,7 @@ func main() {
 		sigma    = flag.Float64("noise", 0.01, "relative measurement noise")
 		version  = flag.Int("kernel", 2, "GPU kernel version for partitioning experiments (1, 2 or 3)")
 		traceN   = flag.Int("trace-n", 60, "problem size (blocks) of the hybrid run exported by -trace-out")
+		parallel = cliutil.Parallel()
 		tele     cliutil.TelemetryFlags
 	)
 	tele.Register()
@@ -78,9 +79,10 @@ func main() {
 		}
 	}
 	opts := experiments.ModelOptions{
-		Seed:       *seed,
-		NoiseSigma: *sigma,
-		Version:    gpukernel.Version(*version),
+		Seed:        *seed,
+		NoiseSigma:  *sigma,
+		Version:     gpukernel.Version(*version),
+		Parallelism: *parallel,
 	}
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -125,7 +127,7 @@ func main() {
 		}
 	}
 	if tele.TraceOut != "" {
-		if err := writeHybridTrace(&tele, node, *seed, *sigma, *traceN); err != nil {
+		if err := writeHybridTrace(&tele, node, opts, *traceN); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			exit = 1
 		} else {
@@ -140,11 +142,10 @@ func main() {
 // Chrome trace: one lane per CPU core, per GPU engine (host/h2d/compute/d2h,
 // the paper's Figure 4(b)) and for the pivot broadcast. Kernel version 3 is
 // used so the GPU engine pipeline is visible.
-func writeHybridTrace(tele *cliutil.TelemetryFlags, node *hw.Node, seed int64, sigma float64, n int) error {
+func writeHybridTrace(tele *cliutil.TelemetryFlags, node *hw.Node, opts experiments.ModelOptions, n int) error {
 	return tele.WriteChromeTrace(func(ct *telemetry.ChromeTrace) error {
-		models, err := experiments.BuildModels(node, experiments.ModelOptions{
-			Seed: seed, NoiseSigma: sigma, Version: gpukernel.V3,
-		})
+		opts.Version = gpukernel.V3
+		models, err := experiments.BuildModels(node, opts)
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,7 @@ func main() {
 		maxSize  = flag.Float64("max", 4000, "largest problem size (blocks)")
 		outDir   = flag.String("out", "", "write <device>.fpm model files into this directory")
 		adaptive = flag.Bool("adaptive", false, "place points adaptively where interpolation mispredicts instead of on a fixed grid")
+		parallel = cliutil.Parallel()
 		tele     cliutil.TelemetryFlags
 	)
 	tele.Register()
@@ -89,10 +90,12 @@ func main() {
 			rep   bench.Report
 			err   error
 		)
+		bopts := bench.Options{Parallelism: *parallel}
 		if *adaptive {
-			model, rep, err = bench.BuildModelAdaptive(j.kernel, 8, *maxSize, bench.AdaptiveOptions{MaxPoints: *points})
+			model, rep, err = bench.BuildModelAdaptive(j.kernel, 8, *maxSize,
+				bench.AdaptiveOptions{Options: bopts, MaxPoints: *points})
 		} else {
-			model, rep, err = bench.BuildModel(j.kernel, sizes, bench.Options{})
+			model, rep, err = bench.BuildModel(j.kernel, sizes, bopts)
 		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", j.name, err))

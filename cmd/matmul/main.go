@@ -39,14 +39,15 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "sim", "sim or real")
-		config  = flag.String("config", "hybrid", "sim: cpu, gpu or hybrid")
-		n       = flag.Int("n", 40, "matrix size in blocks")
-		b       = flag.Int("b", 32, "real mode: block size in elements")
-		procs   = flag.Int("procs", 8, "real mode: number of processes")
-		version = flag.Int("kernel", 2, "sim: GPU kernel version")
-		seed    = flag.Int64("seed", 1, "measurement-noise seed")
-		tele    cliutil.TelemetryFlags
+		mode     = flag.String("mode", "sim", "sim or real")
+		config   = flag.String("config", "hybrid", "sim: cpu, gpu or hybrid")
+		n        = flag.Int("n", 40, "matrix size in blocks")
+		b        = flag.Int("b", 32, "real mode: block size in elements")
+		procs    = flag.Int("procs", 8, "real mode: number of processes")
+		version  = flag.Int("kernel", 2, "sim: GPU kernel version")
+		seed     = flag.Int64("seed", 1, "measurement-noise seed")
+		parallel = cliutil.Parallel()
+		tele     cliutil.TelemetryFlags
 	)
 	tele.Register()
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 	}
 	switch *mode {
 	case "sim":
-		err = runSim(&tele, *config, *n, *version, *seed)
+		err = runSim(&tele, *config, *n, *version, *seed, *parallel)
 	case "real":
 		err = runReal(*n, *b, *procs)
 	case "trace":
@@ -70,10 +71,10 @@ func main() {
 	}
 }
 
-func runSim(tele *cliutil.TelemetryFlags, config string, n, version int, seed int64) error {
+func runSim(tele *cliutil.TelemetryFlags, config string, n, version int, seed int64, parallel int) error {
 	node := hw.NewIGNode()
 	models, err := experiments.BuildModels(node, experiments.ModelOptions{
-		Seed: seed, Version: gpukernel.Version(version),
+		Seed: seed, Version: gpukernel.Version(version), Parallelism: parallel,
 	})
 	if err != nil {
 		return err

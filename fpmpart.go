@@ -107,7 +107,12 @@ type (
 	GPU = hw.GPU
 	// Kernel is a timeable computational kernel for model building.
 	Kernel = bench.Kernel
-	// BenchOptions configures the repeat-until-reliable measurement loop.
+	// PointKernel is a Kernel that can derive an independent instance for a
+	// single problem size; model builders measure PointKernels concurrently
+	// with bit-identical results at any worker count.
+	PointKernel = bench.PointKernel
+	// BenchOptions configures the repeat-until-reliable measurement loop and
+	// its worker pool (Parallelism: 0 = GOMAXPROCS, 1 = sequential).
 	BenchOptions = bench.Options
 	// BenchReport summarises a model-building session.
 	BenchReport = bench.Report
@@ -182,7 +187,10 @@ func PartitionHomogeneous(devices []Device, n int) (PartitionResult, error) {
 func NewLayout(areas []float64) (*Layout, error) { return layout.Continuous(areas) }
 
 // BuildModel benchmarks a kernel over the given problem sizes, repeating
-// each measurement until statistically reliable, and returns the FPM.
+// each measurement until statistically reliable, and returns the FPM. Grid
+// points are measured concurrently on opts.Parallelism workers; kernels
+// implementing PointKernel get a derived instance per point, which makes
+// the result independent of the worker count.
 func BuildModel(k Kernel, sizes []float64, opts BenchOptions) (*Model, BenchReport, error) {
 	return bench.BuildModel(k, sizes, opts)
 }

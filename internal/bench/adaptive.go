@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"fpmpart/internal/fpm"
+	"fpmpart/internal/par"
 	"fpmpart/internal/stats"
 	"fpmpart/internal/telemetry"
 )
@@ -19,7 +20,8 @@ import (
 
 // AdaptiveOptions configures BuildModelAdaptive.
 type AdaptiveOptions struct {
-	// Options configures the per-point repeat-until-reliable loop.
+	// Options configures the per-point repeat-until-reliable loop and the
+	// worker pool measuring each refinement wave's midpoints.
 	Options
 	// RelTol is the acceptable relative error of the interpolated time at
 	// an interval's midpoint; intervals above it keep splitting. Default
@@ -32,24 +34,41 @@ type AdaptiveOptions struct {
 	MinGap float64
 }
 
-func (o AdaptiveOptions) withDefaults(lo, hi float64) AdaptiveOptions {
-	o.Options = o.Options.withDefaults()
-	if o.RelTol <= 0 {
+func (o AdaptiveOptions) withDefaults(lo, hi float64) (AdaptiveOptions, error) {
+	opts, err := o.Options.withDefaults()
+	if err != nil {
+		return o, err
+	}
+	o.Options = opts
+	if o.RelTol < 0 {
+		return o, fmt.Errorf("bench: negative adaptive tolerance %v", o.RelTol)
+	}
+	if o.MaxPoints < 0 {
+		return o, fmt.Errorf("bench: negative adaptive point budget %d", o.MaxPoints)
+	}
+	if o.RelTol == 0 {
 		o.RelTol = 0.05
 	}
-	if o.MaxPoints <= 0 {
+	if o.MaxPoints == 0 {
 		o.MaxPoints = 24
 	}
 	if o.MinGap <= 0 {
 		o.MinGap = (hi - lo) / 1024
 	}
-	return o
+	return o, nil
 }
 
 // BuildModelAdaptive benchmarks the kernel over [lo, hi], recursively
 // splitting the interval whose midpoint time the current model mispredicts
 // the most, until every interval interpolates within RelTol or MaxPoints
 // sizes have been measured.
+//
+// Refinement proceeds in waves: every interval of the current frontier has
+// its midpoint measured concurrently on the options' worker pool, then the
+// split decisions are applied in frontier order. Because split decisions
+// depend only on measured values — which, for PointKernel kernels, depend
+// only on the base seed and the point's size — the measured set and the
+// resulting model are bit-identical at any worker count.
 func BuildModelAdaptive(k Kernel, lo, hi float64, opts AdaptiveOptions) (*fpm.PiecewiseLinear, Report, error) {
 	if k == nil {
 		return nil, Report{}, errors.New("bench: nil kernel")
@@ -63,62 +82,84 @@ func BuildModelAdaptive(k Kernel, lo, hi float64, opts AdaptiveOptions) (*fpm.Pi
 			return nil, Report{}, fmt.Errorf("bench: range below %s's limit %v", k.Name(), max)
 		}
 	}
-	opts = opts.withDefaults(lo, hi)
+	opts, err := opts.withDefaults(lo, hi)
+	if err != nil {
+		return nil, Report{}, err
+	}
 
 	rep := Report{Kernel: k.Name()}
 	measured := map[float64]float64{} // size -> mean time
-	measure := func(x float64) (float64, error) {
-		if t, ok := measured[x]; ok {
-			return t, nil
+
+	// measureWave measures the given sizes concurrently, then folds them
+	// into the report, the telemetry stream and the measured map in order.
+	measureWave := func(xs []float64) error {
+		type pointResult struct {
+			est  *stats.Estimator
+			mean float64
 		}
-		est := stats.NewEstimator(opts.Confidence, opts.RelErr, opts.MinReps, opts.MaxReps)
-		mean, err := est.Measure(func() (float64, error) { return k.Run(x) })
-		if err != nil {
-			return 0, fmt.Errorf("bench: %s at size %v: %w", k.Name(), x, err)
-		}
-		measured[x] = mean
-		rep.Points = append(rep.Points, PointReport{
-			Size: x, MeanTime: mean, Reps: est.N(), Converged: est.Converged(),
+		results := make([]pointResult, len(xs))
+		err := par.ForEach(opts.Parallelism, len(xs), func(i int) error {
+			est, mean, err := measurePoint(k, xs[i], opts.Options)
+			if err != nil {
+				return err
+			}
+			results[i] = pointResult{est: est, mean: mean}
+			return nil
 		})
-		rep.TotalRuns += est.N()
-		for _, v := range est.Sample().Values() {
-			rep.TotalTime += v
+		if err != nil {
+			return err
 		}
-		recordPoint(k.Name(), x, est, mean)
-		return mean, nil
+		for i, x := range xs {
+			measured[x] = results[i].mean
+			rep.addPoint(k.Name(), x, results[i].est, results[i].mean)
+		}
+		return nil
 	}
 
-	for _, x := range []float64{lo, hi} {
-		if _, err := measure(x); err != nil {
-			return nil, rep, err
-		}
+	if err := measureWave([]float64{lo, hi}); err != nil {
+		return nil, rep, err
 	}
 
 	type interval struct{ a, b float64 }
-	queue := []interval{{lo, hi}}
-	for len(queue) > 0 && len(measured) < opts.MaxPoints {
-		iv := queue[0]
-		queue = queue[1:]
-		if iv.b-iv.a <= opts.MinGap {
-			continue
+	frontier := []interval{{lo, hi}}
+	for len(frontier) > 0 && len(measured) < opts.MaxPoints {
+		// Collect this wave's midpoints in frontier order, within budget.
+		wave := make([]interval, 0, len(frontier))
+		mids := make([]float64, 0, len(frontier))
+		for _, iv := range frontier {
+			if len(measured)+len(mids) >= opts.MaxPoints {
+				break
+			}
+			if iv.b-iv.a <= opts.MinGap {
+				continue
+			}
+			wave = append(wave, iv)
+			mids = append(mids, (iv.a+iv.b)/2)
 		}
-		mid := (iv.a + iv.b) / 2
-		ta, tb := measured[iv.a], measured[iv.b]
-		// The model interpolates *speed* linearly; predict the midpoint
-		// time accordingly.
-		sa, sb := iv.a/ta, iv.b/tb
-		predicted := mid / ((sa + sb) / 2)
-		actual, err := measure(mid)
-		if err != nil {
+		if len(mids) == 0 {
+			break
+		}
+		if err := measureWave(mids); err != nil {
 			return nil, rep, err
 		}
-		if math.Abs(predicted-actual)/actual > opts.RelTol {
-			queue = append(queue, interval{iv.a, mid}, interval{mid, iv.b})
-			adaptiveSplits.Inc()
-			telemetry.Default().Event("bench.adaptive.split",
-				"kernel", k.Name(), "lo", iv.a, "hi", iv.b,
-				"predicted", predicted, "actual", actual)
+		var next []interval
+		for i, iv := range wave {
+			mid := mids[i]
+			ta, tb := measured[iv.a], measured[iv.b]
+			// The model interpolates *speed* linearly; predict the midpoint
+			// time accordingly.
+			sa, sb := iv.a/ta, iv.b/tb
+			predicted := mid / ((sa + sb) / 2)
+			actual := measured[mid]
+			if math.Abs(predicted-actual)/actual > opts.RelTol {
+				next = append(next, interval{iv.a, mid}, interval{mid, iv.b})
+				adaptiveSplits.Inc()
+				telemetry.Default().Event("bench.adaptive.split",
+					"kernel", k.Name(), "lo", iv.a, "hi", iv.b,
+					"predicted", predicted, "actual", actual)
+			}
 		}
+		frontier = next
 	}
 
 	samples := make([]fpm.TimeSample, 0, len(measured))

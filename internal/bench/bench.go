@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"fpmpart/internal/fpm"
 	"fpmpart/internal/gpukernel"
 	"fpmpart/internal/hw"
+	"fpmpart/internal/par"
 	"fpmpart/internal/stats"
 )
 
@@ -45,22 +47,42 @@ type Options struct {
 	// Robust applies 3-MAD outlier filtering to each point's repetitions —
 	// recommended when timing with the wall clock (see RealGEMMKernel).
 	Robust bool
+	// Parallelism is the number of grid points measured concurrently: 0
+	// selects GOMAXPROCS, 1 measures sequentially, negative values are
+	// rejected. Kernels implementing PointKernel derive a deterministic
+	// per-point noise stream, so the built model is bit-identical at any
+	// worker count; other kernels must tolerate concurrent Run calls when
+	// Parallelism != 1 (wall-clock kernels will additionally contend for
+	// the hardware they time).
+	Parallelism int
 }
 
-func (o Options) withDefaults() Options {
-	if o.Confidence <= 0 || o.Confidence >= 1 {
+func (o Options) withDefaults() (Options, error) {
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("bench: negative parallelism %d", o.Parallelism)
+	}
+	if o.MinReps < 0 || o.MaxReps < 0 {
+		return o, fmt.Errorf("bench: negative repetition bound (min %d, max %d)", o.MinReps, o.MaxReps)
+	}
+	if o.RelErr < 0 {
+		return o, fmt.Errorf("bench: negative relative-error target %v", o.RelErr)
+	}
+	if o.Confidence < 0 {
+		return o, fmt.Errorf("bench: negative confidence level %v", o.Confidence)
+	}
+	if o.Confidence == 0 || o.Confidence >= 1 {
 		o.Confidence = 0.95
 	}
-	if o.RelErr <= 0 {
+	if o.RelErr == 0 {
 		o.RelErr = 0.025
 	}
 	if o.MinReps < 2 {
 		o.MinReps = 3
 	}
-	if o.MaxReps <= 0 {
+	if o.MaxReps == 0 {
 		o.MaxReps = 30
 	}
-	return o
+	return o, nil
 }
 
 // PointReport describes the measurement of one model point.
@@ -81,9 +103,58 @@ type Report struct {
 	TotalTime float64
 }
 
+// PointKernel is a Kernel that can derive a self-contained instance for one
+// measurement point whose noise stream depends only on the base seed and on
+// the point's size (see stats.Noise.ForPoint). BuildModel uses it to
+// measure grid points concurrently while producing models bit-identical to
+// a sequential build.
+type PointKernel interface {
+	Kernel
+	// AtPoint returns the kernel to use for all repetitions at size x.
+	AtPoint(x float64) Kernel
+}
+
+// kernelAt resolves the kernel instance measuring point x.
+func kernelAt(k Kernel, x float64) Kernel {
+	if pk, ok := k.(PointKernel); ok {
+		return pk.AtPoint(x)
+	}
+	return k
+}
+
+// measurePoint runs the repeat-until-reliable loop for one model point.
+func measurePoint(k Kernel, x float64, opts Options) (*stats.Estimator, float64, error) {
+	est := stats.NewEstimator(opts.Confidence, opts.RelErr, opts.MinReps, opts.MaxReps)
+	est.Robust = opts.Robust
+	kp := kernelAt(k, x)
+	mean, err := est.Measure(func() (float64, error) { return kp.Run(x) })
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: %s at size %v: %w", k.Name(), x, err)
+	}
+	return est, mean, nil
+}
+
+// addPoint folds one measured point into the report and the telemetry
+// registry; called in grid order so reports and event streams are identical
+// at any worker count.
+func (rep *Report) addPoint(kernel string, x float64, est *stats.Estimator, mean float64) {
+	rep.Points = append(rep.Points, PointReport{
+		Size: x, MeanTime: mean, Reps: est.N(), Converged: est.Converged(),
+	})
+	rep.TotalRuns += est.N()
+	for _, v := range est.Sample().Values() {
+		rep.TotalTime += v
+	}
+	recordPoint(kernel, x, est, mean)
+}
+
 // BuildModel benchmarks the kernel at each of the given sizes and returns
 // the piecewise-linear FPM together with a measurement report. Sizes beyond
 // the kernel's MaxSize are skipped; it is an error if none remain.
+//
+// Grid points are measured concurrently on a pool of opts.Parallelism
+// workers. For PointKernel kernels the resulting model, report and
+// telemetry stream are bit-identical to a sequential build.
 func BuildModel(k Kernel, sizes []float64, opts Options) (*fpm.PiecewiseLinear, Report, error) {
 	if k == nil {
 		return nil, Report{}, errors.New("bench: nil kernel")
@@ -91,10 +162,13 @@ func BuildModel(k Kernel, sizes []float64, opts Options) (*fpm.PiecewiseLinear, 
 	if len(sizes) == 0 {
 		return nil, Report{}, errors.New("bench: no sizes")
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, Report{}, err
+	}
 	rep := Report{Kernel: k.Name()}
-	var samples []fpm.TimeSample
 	maxSize := k.MaxSize()
+	kept := make([]float64, 0, len(sizes))
 	for _, x := range sizes {
 		if x <= 0 {
 			return nil, Report{}, fmt.Errorf("bench: invalid size %v", x)
@@ -102,24 +176,31 @@ func BuildModel(k Kernel, sizes []float64, opts Options) (*fpm.PiecewiseLinear, 
 		if maxSize > 0 && x > maxSize {
 			continue
 		}
-		est := stats.NewEstimator(opts.Confidence, opts.RelErr, opts.MinReps, opts.MaxReps)
-		est.Robust = opts.Robust
-		mean, err := est.Measure(func() (float64, error) { return k.Run(x) })
-		if err != nil {
-			return nil, Report{}, fmt.Errorf("bench: %s at size %v: %w", k.Name(), x, err)
-		}
-		rep.Points = append(rep.Points, PointReport{
-			Size: x, MeanTime: mean, Reps: est.N(), Converged: est.Converged(),
-		})
-		rep.TotalRuns += est.N()
-		for _, v := range est.Sample().Values() {
-			rep.TotalTime += v
-		}
-		recordPoint(k.Name(), x, est, mean)
-		samples = append(samples, fpm.TimeSample{Size: x, Seconds: mean})
+		kept = append(kept, x)
 	}
-	if len(samples) == 0 {
+	if len(kept) == 0 {
 		return nil, rep, fmt.Errorf("bench: all sizes exceed %s's limit %v", k.Name(), maxSize)
+	}
+	type pointResult struct {
+		est  *stats.Estimator
+		mean float64
+	}
+	results := make([]pointResult, len(kept))
+	err = par.ForEach(opts.Parallelism, len(kept), func(i int) error {
+		est, mean, err := measurePoint(k, kept[i], opts)
+		if err != nil {
+			return err
+		}
+		results[i] = pointResult{est: est, mean: mean}
+		return nil
+	})
+	if err != nil {
+		return nil, Report{}, err
+	}
+	samples := make([]fpm.TimeSample, 0, len(kept))
+	for i, x := range kept {
+		rep.addPoint(k.Name(), x, results[i].est, results[i].mean)
+		samples = append(samples, fpm.TimeSample{Size: x, Seconds: results[i].mean})
 	}
 	model, err := fpm.FromTimings(samples)
 	if err != nil {
@@ -148,6 +229,14 @@ type SocketKernel struct {
 // Name implements Kernel.
 func (k *SocketKernel) Name() string {
 	return fmt.Sprintf("%s-acml-%dcores", k.Socket.Name, k.Active)
+}
+
+// AtPoint implements PointKernel: the returned copy perturbs measurements
+// with a noise stream derived from the base seed and x only.
+func (k *SocketKernel) AtPoint(x float64) Kernel {
+	kp := *k
+	kp.Noise = k.Noise.ForPoint(x)
+	return &kp
 }
 
 // MaxSize implements Kernel: host memory is ample, no limit.
@@ -188,6 +277,14 @@ type GPUKernel struct {
 // Name implements Kernel.
 func (k *GPUKernel) Name() string {
 	return fmt.Sprintf("%s-cublas-%s", k.GPU.Name, k.Version)
+}
+
+// AtPoint implements PointKernel: the returned copy perturbs measurements
+// with a noise stream derived from the base seed and x only.
+func (k *GPUKernel) AtPoint(x float64) Kernel {
+	kp := *k
+	kp.Noise = k.Noise.ForPoint(x)
+	return &kp
 }
 
 // MaxSize implements Kernel.
@@ -249,3 +346,29 @@ func (k *FuncKernel) MaxSize() float64 { return k.Max }
 
 // Run implements Kernel.
 func (k *FuncKernel) Run(x float64) (float64, error) { return k.F(x) }
+
+// LatencyKernel wraps a kernel and sleeps for a fixed wall-clock duration on
+// every run, emulating the hardware-in-the-loop cost of real measurements:
+// a real kernel run occupies the device, not the coordinating goroutine, so
+// model-building wall time shrinks with the worker-pool width even on a
+// single host core. Used to study (and benchmark) the measurement cost the
+// paper identifies as the method's main overhead.
+type LatencyKernel struct {
+	Kernel
+	// Latency is the emulated wall-clock duration of one kernel run.
+	Latency time.Duration
+}
+
+// Run implements Kernel.
+func (k *LatencyKernel) Run(x float64) (float64, error) {
+	time.Sleep(k.Latency)
+	return k.Kernel.Run(x)
+}
+
+// AtPoint implements PointKernel, delegating to the wrapped kernel.
+func (k *LatencyKernel) AtPoint(x float64) Kernel {
+	if pk, ok := k.Kernel.(PointKernel); ok {
+		return &LatencyKernel{Kernel: pk.AtPoint(x), Latency: k.Latency}
+	}
+	return k
+}

@@ -1,0 +1,17 @@
+package cliutil
+
+import (
+	"flag"
+	"runtime"
+)
+
+// Parallel registers the shared -parallel flag on the default flag set and
+// returns a pointer to its value: the worker-pool width used for model
+// building and independent experiment units. The default is GOMAXPROCS;
+// -parallel 1 forces fully sequential execution. Results are bit-identical
+// at any width because all simulated measurement noise derives from
+// per-point seeds rather than a shared stream.
+func Parallel() *int {
+	return flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool width for model building and independent experiment units (1 = sequential; results are identical at any width)")
+}

@@ -31,31 +31,40 @@ func AblationPartitioners(models *Models, ns []int) (*Table, error) {
 		Notes:   []string{"bisection and iterative solve the same equal-time problem; CPM ignores the size-dependence"},
 	}
 	devs := models.Devices()
-	for _, n := range ns {
+	type row struct{ bis, iter, cpmTrue float64 }
+	rows := make([]row, len(ns))
+	err := models.forEachUnit(len(ns), func(i int) error {
+		n := ns[i]
 		bis, err := partition.FPM(devs, n*n, partition.FPMOptions{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		iter, err := partition.FPMIterative(devs, n*n, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cpmDevs, err := models.CPMDevices(CPMRefBlocks)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cpm, err := partition.CPM(cpmDevs, n*n, CPMRefBlocks)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Evaluate the CPM distribution against the true (functional)
 		// models — the paper's point: the distribution looks balanced to
 		// the constant model but is not in reality.
-		cpmTrue := evalAgainst(devs, cpm.Units())
+		rows[i] = row{bis.Imbalance(), iter.Imbalance(), evalAgainst(devs, cpm.Units())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
 		t.AddRow(n,
-			fmt.Sprintf("%.3f", bis.Imbalance()),
-			fmt.Sprintf("%.3f", iter.Imbalance()),
-			fmt.Sprintf("%.3f", cpmTrue))
+			fmt.Sprintf("%.3f", rows[i].bis),
+			fmt.Sprintf("%.3f", rows[i].iter),
+			fmt.Sprintf("%.3f", rows[i].cpmTrue))
 	}
 	return t, nil
 }
@@ -96,32 +105,41 @@ func AblationKernelVersions(node *hw.Node, ns []int, opts ModelOptions) (*Table,
 		Columns: []string{"n", "v1 (host C)", "v2 (device C)", "v3 (overlap)"},
 		Notes:   []string{"v1 models carry the device-memory cap: the partitioner must keep GPU work within device memory"},
 	}
-	rows := map[int][]string{}
-	for _, v := range []gpukernel.Version{gpukernel.V1, gpukernel.V2, gpukernel.V3} {
+	// The three kernel-version curves are independent (each builds its own
+	// models); results land in a [version][n] grid so the rows assemble
+	// identically at any pool width.
+	versions := []gpukernel.Version{gpukernel.V1, gpukernel.V2, gpukernel.V3}
+	cells := make([][]string, len(versions))
+	err := opts.forEachUnit(len(versions), func(vi int) error {
 		o := opts
-		o.Version = v
+		o.Version = versions[vi]
 		models, err := BuildModels(node, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		procs, err := app.Processes(node, app.Hybrid)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, n := range ns {
+		cells[vi] = make([]string, len(ns))
+		for ni, n := range ns {
 			part, err := models.PartitionFPM(n)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := runWithUnits(models, procs, part.Units(), n)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rows[n] = append(rows[n], fmt.Sprintf("%.1f", res.TotalSeconds))
+			cells[vi][ni] = fmt.Sprintf("%.1f", res.TotalSeconds)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, n := range ns {
-		t.AddRow(n, rows[n][0], rows[n][1], rows[n][2])
+	for ni, n := range ns {
+		t.AddRow(n, cells[0][ni], cells[1][ni], cells[2][ni])
 	}
 	return t, nil
 }
@@ -131,7 +149,10 @@ func AblationKernelVersions(node *hw.Node, ns []int, opts ModelOptions) (*Table,
 // concurrent bidirectional transfers that separates the GTX680 from the
 // Tesla C870 in the paper.
 func AblationDMAEngines(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	g := len(node.GPUs) - 1
 	for i, gpu := range node.GPUs {
 		if gpu.DMAEngines == 2 {
@@ -174,15 +195,12 @@ func AblationDMAEngines(node *hw.Node, opts ModelOptions) (*Table, error) {
 // core alone and multiply by the core count — and shows the imbalance the
 // naive model causes, i.e. why the paper measures cores in groups.
 func AblationSocketFPM(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
-	sock := node.Sockets[0]
-	sizes, err := fpm.Grid(8, 1280, 12, "geometric")
+	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	group := &bench.SocketKernel{Socket: sock, Active: sock.Cores, BlockSize: node.BlockSize,
-		Noise: stats.NewNoise(opts.Seed+40, opts.NoiseSigma)}
-	groupModel, _, err := bench.BuildModel(group, sizes, bench.Options{})
+	sock := node.Sockets[0]
+	sizes, err := fpm.Grid(8, 1280, 12, "geometric")
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +208,21 @@ func AblationSocketFPM(node *hw.Node, opts ModelOptions) (*Table, error) {
 	for i, x := range sizes {
 		soloSizes[i] = x / float64(sock.Cores)
 	}
-	solo := &bench.SocketKernel{Socket: sock, Active: 1, BlockSize: node.BlockSize,
-		Noise: stats.NewNoise(opts.Seed+41, opts.NoiseSigma)}
-	soloModel, _, err := bench.BuildModel(solo, soloSizes, bench.Options{})
+	bopts := bench.Options{Parallelism: opts.Parallelism}
+	var groupModel, soloModel *fpm.PiecewiseLinear
+	err = opts.forEachUnit(2, func(i int) error {
+		var err error
+		if i == 0 {
+			group := &bench.SocketKernel{Socket: sock, Active: sock.Cores, BlockSize: node.BlockSize,
+				Noise: stats.NewNoise(opts.Seed+40, opts.NoiseSigma)}
+			groupModel, _, err = bench.BuildModel(group, sizes, bopts)
+		} else {
+			solo := &bench.SocketKernel{Socket: sock, Active: 1, BlockSize: node.BlockSize,
+				Noise: stats.NewNoise(opts.Seed+41, opts.NoiseSigma)}
+			soloModel, _, err = bench.BuildModel(solo, soloSizes, bopts)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +267,10 @@ func AblationBlockingFactor(base *hw.Node, bs []int, n int, opts ModelOptions) (
 		if nb < 1 {
 			continue
 		}
-		o := opts.withDefaults()
+		o, err := opts.withDefaults()
+		if err != nil {
+			return nil, err
+		}
 		o.Version = gpukernel.V2
 		// Keep the measured element range constant: the block count of a
 		// given problem scales with (base b / b)².

@@ -17,7 +17,10 @@ import (
 // and the CPM constant. It quantifies the paper's central claim — the CPM
 // is accurate only near its reference size, the FPM everywhere.
 func AblationModelAccuracy(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +41,7 @@ func AblationModelAccuracy(node *hw.Node, opts ModelOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	linModel, _, err := bench.BuildModel(kernel(stats.NewNoise(opts.Seed+50, opts.NoiseSigma)), sizes, bench.Options{})
+	linModel, _, err := bench.BuildModel(kernel(stats.NewNoise(opts.Seed+50, opts.NoiseSigma)), sizes, bench.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +104,10 @@ func AblationModelAccuracy(node *hw.Node, opts ModelOptions) (*Table, error) {
 // the contention coefficient folded in and compares the hybrid run's
 // realised imbalance against partitioning from exclusive models.
 func AblationContentionModels(node *hw.Node, ns []int, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if len(ns) == 0 {
 		ns = []int{40, 60}
 	}
@@ -114,11 +120,17 @@ func AblationContentionModels(node *hw.Node, ns []int, opts ModelOptions) (*Tabl
 			"folding the coefficient in helps once the GPU share is large (out-of-core sizes); at small sizes integer-rectangle rounding dominates either way — supporting the paper's choice to keep the simpler exclusive measurement",
 		},
 	}
-	exclusive, err := BuildModels(node, opts)
-	if err != nil {
-		return nil, err
-	}
-	aware, err := buildContentionAware(node, opts)
+	// The exclusive and contention-aware model sets are independent builds.
+	var exclusive, aware *Models
+	err = opts.forEachUnit(2, func(i int) error {
+		var err error
+		if i == 0 {
+			exclusive, err = BuildModels(node, opts)
+		} else {
+			aware, err = buildContentionAware(node, opts)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -126,23 +138,30 @@ func AblationContentionModels(node *hw.Node, ns []int, opts ModelOptions) (*Tabl
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range ns {
-		row := []any{n}
-		var imb, tot []float64
-		for _, m := range []*Models{exclusive, aware} {
+	type row struct{ imb, tot [2]float64 }
+	rows := make([]row, len(ns))
+	err = opts.forEachUnit(len(ns), func(i int) error {
+		n := ns[i]
+		for j, m := range []*Models{exclusive, aware} {
 			part, err := m.PartitionFPM(n)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := runWithUnits(m, procs, part.Units(), n)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			imb = append(imb, res.Imbalance())
-			tot = append(tot, res.TotalSeconds)
+			rows[i].imb[j] = res.Imbalance()
+			rows[i].tot[j] = res.TotalSeconds
 		}
-		row = append(row, fmt.Sprintf("%.2f", imb[0]), fmt.Sprintf("%.2f", imb[1]), tot[0], tot[1])
-		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		t.AddRow(n, fmt.Sprintf("%.2f", rows[i].imb[0]), fmt.Sprintf("%.2f", rows[i].imb[1]),
+			rows[i].tot[0], rows[i].tot[1])
 	}
 	return t, nil
 }
@@ -151,17 +170,22 @@ func AblationContentionModels(node *hw.Node, ns []int, opts ModelOptions) (*Tabl
 // coefficients applied to the kernels during benchmarking (measuring the
 // devices while the rest of the node is loaded, instead of exclusively).
 func buildContentionAware(node *hw.Node, opts ModelOptions) (*Models, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	sizes, err := fpm.Grid(8, opts.MaxBlocks, opts.Points, "geometric")
 	if err != nil {
 		return nil, err
 	}
+	bopts := bench.Options{Parallelism: opts.Parallelism}
 	m := &Models{
-		Node:       node,
-		Version:    opts.Version,
-		SocketFull: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
-		SocketHost: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
-		GPU:        make([]*fpm.PiecewiseLinear, len(node.GPUs)),
+		Node:        node,
+		Version:     opts.Version,
+		SocketFull:  make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		SocketHost:  make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		GPU:         make([]*fpm.PiecewiseLinear, len(node.GPUs)),
+		Parallelism: opts.Parallelism,
 	}
 	seed := opts.Seed + 1000
 	for s, sock := range node.Sockets {
@@ -180,7 +204,7 @@ func buildContentionAware(node *hw.Node, opts ModelOptions) (*Models, error) {
 				Socket: sock, Active: active, BlockSize: node.BlockSize,
 				Noise: stats.NewNoise(seed, opts.NoiseSigma), SpeedFactor: factor,
 			}
-			model, _, err := bench.BuildModel(k, sizes, bench.Options{})
+			model, _, err := bench.BuildModel(k, sizes, bopts)
 			if err != nil {
 				return nil, err
 			}
@@ -200,7 +224,7 @@ func buildContentionAware(node *hw.Node, opts ModelOptions) (*Models, error) {
 			SpeedFactor: node.GPUContention,
 			OutOfCore:   opts.Version != gpukernel.V1,
 		}
-		model, _, err := bench.BuildModel(k, sizes, bench.Options{})
+		model, _, err := bench.BuildModel(k, sizes, bopts)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +239,10 @@ func buildContentionAware(node *hw.Node, opts ModelOptions) (*Models, error) {
 // imbalance are reported. The paper controls noise with the
 // repeat-until-reliable loop; this quantifies how much that matters.
 func AblationNoise(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		n = 60
 	}
@@ -238,34 +265,50 @@ func AblationNoise(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
 			gtx = i
 		}
 	}
-	for _, sigma := range []float64{0.002, 0.01, 0.05} {
+	// Every (sigma, seed) arm rebuilds models from scratch, so all of them
+	// run as one flat fan-out; the per-sigma aggregates (min/max share,
+	// worst imbalance) are folded sequentially afterwards.
+	sigmas := []float64{0.002, 0.01, 0.05}
+	type arm struct {
+		share     int
+		imbalance float64
+	}
+	arms := make([]arm, len(sigmas)*seeds)
+	err = opts.forEachUnit(len(arms), func(i int) error {
+		o := opts
+		o.NoiseSigma = sigmas[i/seeds]
+		o.Seed = opts.Seed + 100*int64(i%seeds)
+		models, err := BuildModels(node, o)
+		if err != nil {
+			return err
+		}
+		part, err := models.PartitionFPM(n)
+		if err != nil {
+			return err
+		}
+		res, err := runWithUnits(models, procs, part.Units(), n)
+		if err != nil {
+			return err
+		}
+		arms[i] = arm{share: part.Units()[gtx], imbalance: res.Imbalance()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sigma := range sigmas {
 		lo, hi := -1, -1
 		worst := 0.0
-		for s := int64(0); s < seeds; s++ {
-			o := opts
-			o.NoiseSigma = sigma
-			o.Seed = opts.Seed + 100*s
-			models, err := BuildModels(node, o)
-			if err != nil {
-				return nil, err
+		for s := 0; s < seeds; s++ {
+			a := arms[si*seeds+s]
+			if lo < 0 || a.share < lo {
+				lo = a.share
 			}
-			part, err := models.PartitionFPM(n)
-			if err != nil {
-				return nil, err
+			if a.share > hi {
+				hi = a.share
 			}
-			share := part.Units()[gtx]
-			if lo < 0 || share < lo {
-				lo = share
-			}
-			if share > hi {
-				hi = share
-			}
-			res, err := runWithUnits(models, procs, part.Units(), n)
-			if err != nil {
-				return nil, err
-			}
-			if im := res.Imbalance(); im > worst {
-				worst = im
+			if a.imbalance > worst {
+				worst = a.imbalance
 			}
 		}
 		t.AddRow(fmt.Sprintf("%.1f%%", sigma*100),

@@ -15,7 +15,10 @@ import (
 // GPU of every node (with inter-node broadcasts over a slower interconnect)
 // and compared against the homogeneous distribution, for 1, 2 and 4 nodes.
 func ClusterScaling(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		n = 80
 	}
@@ -28,25 +31,33 @@ func ClusterScaling(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
 			"FPM keeps every socket and GPU of every node finishing together; homogeneous is dominated by the slowest cores",
 		},
 	}
-	var base float64
-	for _, count := range []int{1, 2, 4} {
+	// The per-count cluster runs are independent (each rebuilds its own
+	// models); run them on the pool and derive the speedup baseline from the
+	// single-node result afterwards.
+	counts := []int{1, 2, 4}
+	type unit struct {
+		fpmTotal, homTotal, interComm float64
+	}
+	units := make([]unit, len(counts))
+	err = opts.forEachUnit(len(counts), func(ci int) error {
+		count := counts[ci]
 		nodes := make([]*hw.Node, count)
 		for i := range nodes {
 			nodes[i] = node
 		}
 		cl, err := cluster.New(nodes...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		procsAll, err := cl.Processes()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Build models once (identical nodes) and partition over the union
 		// of all devices.
 		models, err := BuildModels(node, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		devs := models.Devices()
 		var union []partition.Device
@@ -56,33 +67,33 @@ func ClusterScaling(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
 		var shares []float64
 		part, err := partition.FPM(union, n*n, partition.FPMOptions{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Expand per-device units to per-process shares node by node.
 		nodeProcs, err := app.Processes(node, app.Hybrid)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		perDev := len(devs)
 		for i := 0; i < count; i++ {
 			nodeShares, err := models.ProcessShares(nodeProcs, part.Units()[i*perDev:(i+1)*perDev])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			shares = append(shares, nodeShares...)
 		}
 		l, err := layout.Continuous(shares)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bl, err := l.Discretize(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		simOpts := app.SimOptions{Version: models.Version, Contention: true}
 		fpmRes, err := cl.Simulate(procsAll, bl, simOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		even := make([]float64, len(procsAll))
 		for i := range even {
@@ -90,22 +101,31 @@ func ClusterScaling(node *hw.Node, n int, opts ModelOptions) (*Table, error) {
 		}
 		le, err := layout.Continuous(even)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ble, err := le.Discretize(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		homRes, err := cl.Simulate(procsAll, ble, simOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if count == 1 {
-			base = fpmRes.TotalSeconds
+		units[ci] = unit{
+			fpmTotal:  fpmRes.TotalSeconds,
+			homTotal:  homRes.TotalSeconds,
+			interComm: fpmRes.InterCommSeconds,
 		}
-		t.AddRow(count, fpmRes.TotalSeconds, homRes.TotalSeconds,
-			fmt.Sprintf("%.2fx", base/fpmRes.TotalSeconds),
-			fmt.Sprintf("%.2f", fpmRes.InterCommSeconds))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := units[0].fpmTotal // counts[0] == 1 node
+	for ci, count := range counts {
+		t.AddRow(count, units[ci].fpmTotal, units[ci].homTotal,
+			fmt.Sprintf("%.2fx", base/units[ci].fpmTotal),
+			fmt.Sprintf("%.2f", units[ci].interComm))
 	}
 	return t, nil
 }

@@ -17,7 +17,10 @@ import (
 // two-DMA GTX680 the uploads and downloads overlap; on the single-DMA Tesla
 // C870 they serialise on one engine, exactly as the paper describes.
 func Figure4(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}

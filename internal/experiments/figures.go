@@ -15,7 +15,10 @@ import (
 // socket executing the CPU GEMM kernel on 5 and on 6 cores simultaneously,
 // in Gflop/s versus problem size (matrix blocks), single precision, b=640.
 func Figure2(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}
@@ -34,17 +37,26 @@ func Figure2(node *hw.Node, opts ModelOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	models := map[int]*fpm.PiecewiseLinear{}
-	for i, active := range []int{sock.Cores - 1, sock.Cores} {
+	actives := []int{sock.Cores - 1, sock.Cores}
+	curves := make([]*fpm.PiecewiseLinear, len(actives))
+	err = opts.forEachUnit(len(actives), func(i int) error {
 		k := &bench.SocketKernel{
-			Socket: sock, Active: active, BlockSize: node.BlockSize,
+			Socket: sock, Active: actives[i], BlockSize: node.BlockSize,
 			Noise: stats.NewNoise(opts.Seed+int64(i), opts.NoiseSigma),
 		}
-		m, _, err := bench.BuildModel(k, sizes, bench.Options{})
+		m, _, err := bench.BuildModel(k, sizes, bench.Options{Parallelism: opts.Parallelism})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		models[active] = m
+		curves[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	models := map[int]*fpm.PiecewiseLinear{}
+	for i, active := range actives {
+		models[active] = curves[i]
 	}
 	unit := node.BlockFlops() / 1e9
 	for _, x := range sizes {
@@ -61,7 +73,10 @@ func Figure2(node *hw.Node, opts ModelOptions) (*Table, error) {
 // with communication/computation overlap (version 3) — with the device
 // memory limit marked.
 func Figure3(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}
@@ -90,17 +105,25 @@ func Figure3(node *hw.Node, opts ModelOptions) (*Table, error) {
 	}
 	unit := node.BlockFlops() / 1e9
 	versions := []gpukernel.Version{gpukernel.V1, gpukernel.V2, gpukernel.V3}
-	models := map[gpukernel.Version]*fpm.PiecewiseLinear{}
-	for i, v := range versions {
+	curves := make([]*fpm.PiecewiseLinear, len(versions))
+	err = opts.forEachUnit(len(versions), func(i int) error {
 		k := &bench.GPUKernel{
-			GPU: gpu, Version: v, BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
+			GPU: gpu, Version: versions[i], BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
 			Noise: stats.NewNoise(opts.Seed+10+int64(i), opts.NoiseSigma), OutOfCore: true,
 		}
-		m, _, err := bench.BuildModel(k, sizes, bench.Options{})
+		m, _, err := bench.BuildModel(k, sizes, bench.Options{Parallelism: opts.Parallelism})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		models[v] = m
+		curves[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	models := map[gpukernel.Version]*fpm.PiecewiseLinear{}
+	for i, v := range versions {
+		models[v] = curves[i]
 	}
 	for _, x := range sizes {
 		inMem := "no"
@@ -122,7 +145,10 @@ func Figure3(node *hw.Node, opts ModelOptions) (*Table, error) {
 // splits against the CPU-only curve; part (b): the GPU against its
 // uncontended curve. Rows are tagged "cpu" and "gpu".
 func Figure5(node *hw.Node, opts ModelOptions) (*Table, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,54 +177,59 @@ func Figure5(node *hw.Node, opts ModelOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Part (a): the socket's cores, exclusive vs contended. The contention
-	// coefficient is workload-independent in the model, matching the
-	// paper's finding that the CPU curves coincide for both splits.
-	for i, factor := range []float64{1, node.CPUContention, node.CPUContention} {
-		k := &bench.SocketKernel{
-			Socket: sock, Active: hostCores, BlockSize: node.BlockSize,
-			Noise:       stats.NewNoise(opts.Seed+20+int64(i), opts.NoiseSigma),
-			SpeedFactor: factor,
-		}
-		m, _, err := bench.BuildModel(k, cpuSizes, bench.Options{})
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			for _, x := range cpuSizes {
-				t.AddRow("cpu", int(x), m.Speed(x)*unit, "", "")
-			}
-			continue
-		}
-		for j, x := range cpuSizes {
-			t.Rows[j][2+i] = fmt.Sprintf("%.1f", m.Speed(x)*unit)
-		}
-	}
-
 	gpuSizes, err := fpm.Grid(16, opts.MaxBlocks, 12, "geometric")
 	if err != nil {
 		return nil, err
 	}
-	base := len(t.Rows)
-	for i, factor := range []float64{1, node.GPUContention, node.GPUContention} {
+	// All six arms — exclusive plus two contended splits for the CPU cores
+	// and for the GPU — are independent model builds; measure them on the
+	// pool and assemble the rows afterwards. The contention coefficient is
+	// workload-independent in the model, matching the paper's finding that
+	// the CPU curves coincide for both splits.
+	cpuFactors := []float64{1, node.CPUContention, node.CPUContention}
+	gpuFactors := []float64{1, node.GPUContention, node.GPUContention}
+	cpuModels := make([]*fpm.PiecewiseLinear, len(cpuFactors))
+	gpuModels := make([]*fpm.PiecewiseLinear, len(gpuFactors))
+	bopts := bench.Options{Parallelism: opts.Parallelism}
+	err = opts.forEachUnit(len(cpuFactors)+len(gpuFactors), func(i int) error {
+		if i < len(cpuFactors) {
+			k := &bench.SocketKernel{
+				Socket: sock, Active: hostCores, BlockSize: node.BlockSize,
+				Noise:       stats.NewNoise(opts.Seed+20+int64(i), opts.NoiseSigma),
+				SpeedFactor: cpuFactors[i],
+			}
+			m, _, err := bench.BuildModel(k, cpuSizes, bopts)
+			if err != nil {
+				return err
+			}
+			cpuModels[i] = m
+			return nil
+		}
+		g := i - len(cpuFactors)
 		k := &bench.GPUKernel{
 			GPU: gpu, Version: opts.Version, BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
-			Noise:       stats.NewNoise(opts.Seed+30+int64(i), opts.NoiseSigma),
-			SpeedFactor: factor, OutOfCore: true,
+			Noise:       stats.NewNoise(opts.Seed+30+int64(g), opts.NoiseSigma),
+			SpeedFactor: gpuFactors[g], OutOfCore: true,
 		}
-		m, _, err := bench.BuildModel(k, gpuSizes, bench.Options{})
+		m, _, err := bench.BuildModel(k, gpuSizes, bopts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if i == 0 {
-			for _, x := range gpuSizes {
-				t.AddRow("gpu", int(x), m.Speed(x)*unit, "", "")
-			}
-			continue
-		}
-		for j, x := range gpuSizes {
-			t.Rows[base+j][2+i] = fmt.Sprintf("%.1f", m.Speed(x)*unit)
-		}
+		gpuModels[g] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range cpuSizes {
+		t.AddRow("cpu", int(x), cpuModels[0].Speed(x)*unit,
+			fmt.Sprintf("%.1f", cpuModels[1].Speed(x)*unit),
+			fmt.Sprintf("%.1f", cpuModels[2].Speed(x)*unit))
+	}
+	for _, x := range gpuSizes {
+		t.AddRow("gpu", int(x), gpuModels[0].Speed(x)*unit,
+			fmt.Sprintf("%.1f", gpuModels[1].Speed(x)*unit),
+			fmt.Sprintf("%.1f", gpuModels[2].Speed(x)*unit))
 	}
 	return t, nil
 }
@@ -253,16 +284,25 @@ func Figure7(models *Models, ns []int) (*Table, error) {
 			"paper: FPM ≈ -30% vs CPM and ≈ -45% vs homogeneous at large n; all three comparable at small n",
 		},
 	}
-	for _, n := range ns {
-		hom, err := runHomogeneous(models, procs, n)
+	type row struct{ hom, cpm, fpm float64 }
+	rows := make([]row, len(ns))
+	err = models.forEachUnit(len(ns), func(i int) error {
+		hom, err := runHomogeneous(models, procs, ns[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cpmRes, fpmRes, err := runCPMandFPM(models, procs, n)
+		cpmRes, fpmRes, err := runCPMandFPM(models, procs, ns[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(n, hom.TotalSeconds, cpmRes.TotalSeconds, fpmRes.TotalSeconds)
+		rows[i] = row{hom.TotalSeconds, cpmRes.TotalSeconds, fpmRes.TotalSeconds}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		t.AddRow(n, rows[i].hom, rows[i].cpm, rows[i].fpm)
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fpmpart/internal/app"
 	"fpmpart/internal/bench"
@@ -10,6 +11,7 @@ import (
 	"fpmpart/internal/gpukernel"
 	"fpmpart/internal/hw"
 	"fpmpart/internal/layout"
+	"fpmpart/internal/par"
 	"fpmpart/internal/partition"
 	"fpmpart/internal/stats"
 )
@@ -28,6 +30,11 @@ type Models struct {
 	SocketFull, SocketHost []*fpm.PiecewiseLinear
 	// GPU[g] is the combined GPU + dedicated-core FPM ("g1", "g2").
 	GPU []*fpm.PiecewiseLinear
+	// Parallelism is the worker-pool width the experiment drivers use for
+	// independent experiment units (per-n runs, per-version curves, ablation
+	// arms). It is carried on Models because most drivers receive only a
+	// *Models. 0 means GOMAXPROCS, 1 forces sequential execution.
+	Parallelism int
 }
 
 // ModelOptions configures model construction.
@@ -44,43 +51,83 @@ type ModelOptions struct {
 	MaxBlocks float64
 	// Points is the number of grid points per model (default 18).
 	Points int
+	// Parallelism bounds the worker pools used for model building and for
+	// independent experiment units. 0 selects GOMAXPROCS, 1 runs everything
+	// sequentially; results are bit-identical either way because all
+	// simulated noise is derived from per-point seeds.
+	Parallelism int
+	// RunLatency adds a fixed sleep to every kernel invocation, emulating
+	// the hardware-in-the-loop delay of real model building (where each
+	// measurement waits on the device). Used by benchmarks to exercise the
+	// worker pools; zero for normal simulation.
+	RunLatency time.Duration
 }
 
-func (o ModelOptions) withDefaults() ModelOptions {
+func (o ModelOptions) withDefaults() (ModelOptions, error) {
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("experiments: negative parallelism %d", o.Parallelism)
+	}
+	if o.Points < 0 {
+		return o, fmt.Errorf("experiments: negative model grid size %d", o.Points)
+	}
+	if o.MaxBlocks < 0 {
+		return o, fmt.Errorf("experiments: negative model size limit %v", o.MaxBlocks)
+	}
+	if o.NoiseSigma < 0 {
+		return o, fmt.Errorf("experiments: negative noise sigma %v", o.NoiseSigma)
+	}
+	if o.RunLatency < 0 {
+		return o, fmt.Errorf("experiments: negative run latency %v", o.RunLatency)
+	}
 	if o.Version == 0 {
 		o.Version = gpukernel.V2
 	}
-	if o.NoiseSigma <= 0 {
+	if o.NoiseSigma == 0 {
 		o.NoiseSigma = 0.01
 	}
-	if o.MaxBlocks <= 0 {
+	if o.MaxBlocks == 0 {
 		o.MaxBlocks = 4000
 	}
-	if o.Points <= 0 {
+	if o.Points == 0 {
 		o.Points = 18
 	}
-	return o
+	return o, nil
 }
 
 // BuildModels benchmarks every processing element of the node and returns
-// its functional performance models.
+// its functional performance models. The per-device builds are independent
+// (each kernel carries its own seeded noise source) and run on a bounded
+// worker pool of opts.Parallelism workers; seeds are assigned up front in
+// the fixed device order — sockets (full then host configuration) followed
+// by GPUs — so the models are identical at any worker count.
 func BuildModels(node *hw.Node, opts ModelOptions) (*Models, error) {
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	sizes, err := fpm.Grid(8, opts.MaxBlocks, opts.Points, "geometric")
 	if err != nil {
 		return nil, err
 	}
-	bopts := bench.Options{}
+	bopts := bench.Options{Parallelism: opts.Parallelism}
 	m := &Models{
-		Node:       node,
-		Version:    opts.Version,
-		SocketFull: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
-		SocketHost: make([]*fpm.PiecewiseLinear, len(node.Sockets)),
-		GPU:        make([]*fpm.PiecewiseLinear, len(node.GPUs)),
+		Node:        node,
+		Version:     opts.Version,
+		SocketFull:  make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		SocketHost:  make([]*fpm.PiecewiseLinear, len(node.Sockets)),
+		GPU:         make([]*fpm.PiecewiseLinear, len(node.GPUs)),
+		Parallelism: opts.Parallelism,
 	}
+	type job struct {
+		kernel bench.Kernel
+		dst    *[]*fpm.PiecewiseLinear
+		idx    int
+		what   string
+	}
+	var jobs []job
 	seed := opts.Seed
 	for s, sock := range node.Sockets {
 		for _, host := range []bool{false, true} {
@@ -96,15 +143,14 @@ func BuildModels(node *hw.Node, opts ModelOptions) (*Models, error) {
 				Socket: sock, Active: active, BlockSize: node.BlockSize,
 				Noise: stats.NewNoise(seed, opts.NoiseSigma),
 			}
-			model, _, err := bench.BuildModel(k, sizes, bopts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: socket %d (%d cores): %w", s, active, err)
-			}
+			dst := &m.SocketFull
 			if host {
-				m.SocketHost[s] = model
-			} else {
-				m.SocketFull[s] = model
+				dst = &m.SocketHost
 			}
+			jobs = append(jobs, job{
+				kernel: wrapLatency(k, opts.RunLatency), dst: dst, idx: s,
+				what: fmt.Sprintf("socket %d (%d cores)", s, active),
+			})
 		}
 	}
 	for g, gpu := range node.GPUs {
@@ -115,13 +161,32 @@ func BuildModels(node *hw.Node, opts ModelOptions) (*Models, error) {
 			Noise:     stats.NewNoise(seed, opts.NoiseSigma),
 			OutOfCore: opts.Version != gpukernel.V1,
 		}
-		model, _, err := bench.BuildModel(k, sizes, bopts)
+		jobs = append(jobs, job{
+			kernel: wrapLatency(k, opts.RunLatency), dst: &m.GPU, idx: g,
+			what: fmt.Sprintf("gpu %d (%s)", g, gpu.Name),
+		})
+	}
+	err = par.ForEach(opts.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		model, _, err := bench.BuildModel(j.kernel, sizes, bopts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: gpu %d (%s): %w", g, gpu.Name, err)
+			return fmt.Errorf("experiments: %s: %w", j.what, err)
 		}
-		m.GPU[g] = model
+		(*j.dst)[j.idx] = model
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// wrapLatency wraps a kernel in a fixed per-run sleep when latency > 0.
+func wrapLatency(k bench.Kernel, latency time.Duration) bench.Kernel {
+	if latency <= 0 {
+		return k
+	}
+	return &bench.LatencyKernel{Kernel: k, Latency: latency}
 }
 
 // Devices returns the partitioning devices of a hybrid run, in the fixed

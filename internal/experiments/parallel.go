@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"fpmpart/internal/par"
+)
+
+// Experiment drivers fan independent units — per-n runs of a sweep,
+// per-version model curves, ablation arms — out to the shared worker pool.
+// Every unit writes into its own index of a pre-sized slice and derives all
+// randomness from seeds fixed before the fan-out, so tables are identical at
+// any pool width; rows are assembled sequentially afterwards.
+
+// forEachUnit runs n independent experiment units on a pool sized by the
+// models' Parallelism (0 = GOMAXPROCS, 1 = sequential).
+func (m *Models) forEachUnit(n int, fn func(i int) error) error {
+	return par.ForEach(m.Parallelism, n, fn)
+}
+
+// forEachUnit is the same fan-out for drivers that build their own models
+// and therefore only have ModelOptions at hand.
+func (o ModelOptions) forEachUnit(n int, fn func(i int) error) error {
+	return par.ForEach(o.Parallelism, n, fn)
+}

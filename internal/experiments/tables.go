@@ -41,24 +41,34 @@ func Table2(models *Models, ns []int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range ns {
+	type row struct{ cpu, gpu, hyb float64 }
+	rows := make([]row, len(ns))
+	err = models.forEachUnit(len(ns), func(i int) error {
+		n := ns[i]
 		cpu, err := runCPUOnly(models, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gpu, err := runSingleGPU(models, g, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fpmPart, err := models.PartitionFPM(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hyb, err := runWithUnits(models, procs, fpmPart.Units(), n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmt.Sprintf("%d x %d", n, n), cpu.TotalSeconds, gpu.TotalSeconds, hyb.TotalSeconds)
+		rows[i] = row{cpu.TotalSeconds, gpu.TotalSeconds, hyb.TotalSeconds}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		t.AddRow(fmt.Sprintf("%d x %d", n, n), rows[i].cpu, rows[i].gpu, rows[i].hyb)
 	}
 	return t, nil
 }
@@ -89,14 +99,16 @@ func Table3(models *Models, ns []int) (*Table, error) {
 			"shape: CPM keeps the G1:S6 ratio ≈8 of the in-memory probe and overloads the fast GPU from 50x50 up; FPM lowers G1's share as it spills out of device memory",
 		},
 	}
-	for _, n := range ns {
+	rows := make([][]any, len(ns))
+	err := models.forEachUnit(len(ns), func(i int) error {
+		n := ns[i]
 		cpm, err := models.PartitionCPM(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fpmPart, err := models.PartitionFPM(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{fmt.Sprintf("%d x %d", n, n)}
 		for _, u := range cpm.Units() {
@@ -105,6 +117,13 @@ func Table3(models *Models, ns []int) (*Table, error) {
 		for _, u := range fpmPart.Units() {
 			row = append(row, u)
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil

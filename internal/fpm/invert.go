@@ -2,6 +2,7 @@ package fpm
 
 import (
 	"math"
+	"sort"
 )
 
 // The FPM-based data partitioning algorithm needs, for each device, the
@@ -23,6 +24,15 @@ type TimeInverter struct {
 	// searchMax bounds the bisection; beyond the model domain speed is
 	// clamped so time is strictly increasing there and any T is reachable.
 	searchHint float64
+	// knotSize / knotEnv memoize the running maximum of the time function at
+	// the model's knots: knotEnv[i] = max over j<=i of Time(s, knotSize[j]).
+	// SizeFor evaluates the envelope ~100 times per bisection and the
+	// partitioner bisects hundreds of times per solve, so the O(knots) knot
+	// scan in envelopeTime was the solver's hot spot. The prefix maximum
+	// turns it into a binary search with bit-identical results (max is
+	// order-independent).
+	knotSize []float64
+	knotEnv  []float64
 }
 
 // NewTimeInverter builds an inverter for model s with an optional size cap
@@ -36,7 +46,20 @@ func NewTimeInverter(s SpeedFunction, sizeCap float64) *TimeInverter {
 	if math.IsInf(hint, 1) || hint <= 0 {
 		hint = 1
 	}
-	return &TimeInverter{s: s, cap: sizeCap, searchHint: hint}
+	inv := &TimeInverter{s: s, cap: sizeCap, searchHint: hint}
+	if pl, ok := s.(*PiecewiseLinear); ok {
+		inv.knotSize = make([]float64, len(pl.points))
+		inv.knotEnv = make([]float64, len(pl.points))
+		env := math.Inf(-1)
+		for i, p := range pl.points {
+			if t := Time(s, p.Size); t > env {
+				env = t
+			}
+			inv.knotSize[i] = p.Size
+			inv.knotEnv[i] = env
+		}
+	}
+	return inv
 }
 
 // Cap returns the size cap (possibly +Inf).
@@ -49,14 +72,11 @@ func (inv *TimeInverter) Cap() float64 { return inv.cap }
 // enough for partitioning purposes.
 func (inv *TimeInverter) envelopeTime(x float64) float64 {
 	t := Time(inv.s, x)
-	if pl, ok := inv.s.(*PiecewiseLinear); ok {
-		for _, p := range pl.points {
-			if p.Size >= x {
-				break
-			}
-			if pt := Time(inv.s, p.Size); pt > t {
-				t = pt
-			}
+	if len(inv.knotSize) > 0 {
+		// Index of the first knot >= x: knots [0, i) are strictly below x,
+		// and knotEnv[i-1] is their precomputed time maximum.
+		if i := sort.SearchFloat64s(inv.knotSize, x); i > 0 && inv.knotEnv[i-1] > t {
+			t = inv.knotEnv[i-1]
 		}
 	}
 	return t

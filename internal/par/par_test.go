@@ -1,0 +1,85 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var sum atomic.Int64
+		seen := make([]bool, 50)
+		err := ForEach(workers, len(seen), func(i int) error {
+			seen[i] = true
+			sum.Add(int64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: task %d did not run", workers, i)
+			}
+		}
+		if want := int64(49 * 50 / 2); sum.Load() != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum.Load(), want)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 7 failed", workers, err)
+		}
+	}
+}
+
+func TestForEachEmptyAndNil(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := ForEach(4, 3, nil); err != nil {
+		t.Fatalf("nil fn: %v", err)
+	}
+}
+
+func TestForEachStopsStartingAfterError(t *testing.T) {
+	// With a single worker the loop must stop at the first failing index.
+	var ran atomic.Int64
+	err := ForEach(1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("sequential pool ran %d tasks after error at index 3, want 4", ran.Load())
+	}
+}

@@ -51,10 +51,11 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	for i, d := range devices {
 		invs[i] = fpm.NewTimeInverter(d.Model, d.MaxUnits)
 	}
+	cache := newSolveCache(invs)
 	total := func(T float64) float64 {
 		var s float64
-		for _, inv := range invs {
-			s += inv.SizeFor(T)
+		for i := range invs {
+			s += cache.sizeFor(i, T)
 		}
 		return s
 	}
@@ -86,8 +87,8 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 			// Per-iteration share evolution: how each device's tentative
 			// allocation x_i(T) moves as the bisection narrows T*.
 			evo := make([]float64, len(invs))
-			for d, inv := range invs {
-				evo[d] = inv.SizeFor(hi)
+			for d := range invs {
+				evo[d] = cache.sizeFor(d, hi)
 			}
 			reg.Event("partition.fpm.iteration",
 				"iteration", iterations, "t_lo", lo, "t_hi", hi, "shares", evo)
@@ -100,8 +101,8 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	T := hi // smallest bracketed time with total(T) >= n
 
 	shares := make([]float64, len(devices))
-	for i, inv := range invs {
-		shares[i] = inv.SizeFor(T)
+	for i := range invs {
+		shares[i] = cache.sizeFor(i, T)
 	}
 	// The continuous shares sum to >= n (within tolerance); scale down any
 	// overshoot proportionally before integer rounding so the total is n.
@@ -121,6 +122,42 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	res.Converged = converged
 	recordResult("fpm", fpmRunsTotal, res)
 	return res, nil
+}
+
+// solveCache memoizes x_i(T) = inv.SizeFor(T) within a single FPM solve.
+// The bisection re-evaluates the same deadline for every device, and the
+// per-iteration telemetry plus the final share extraction re-query deadlines
+// the bracketing loop already computed, so a small per-solve map removes a
+// large fraction of the ~100-step envelope inversions. Keys are exact
+// float64 deadlines produced by the bisection arithmetic, so lookups are
+// safe without tolerance games.
+type solveCache struct {
+	invs  []*fpm.TimeInverter
+	memo  []map[float64]float64
+	count bool
+}
+
+func newSolveCache(invs []*fpm.TimeInverter) *solveCache {
+	memo := make([]map[float64]float64, len(invs))
+	for i := range memo {
+		memo[i] = make(map[float64]float64, 64)
+	}
+	return &solveCache{invs: invs, memo: memo, count: telemetry.Default().Enabled()}
+}
+
+func (c *solveCache) sizeFor(i int, T float64) float64 {
+	if x, ok := c.memo[i][T]; ok {
+		if c.count {
+			solverCacheHits.Inc()
+		}
+		return x
+	}
+	x := c.invs[i].SizeFor(T)
+	c.memo[i][T] = x
+	if c.count {
+		solverCacheMisses.Inc()
+	}
+	return x
 }
 
 // FPMIterative is the alternative fixed-point formulation of the FPM

@@ -17,6 +17,8 @@ var (
 	geomRunsTotal      = telemetry.Default().Counter("partition_runs_total", "algorithm", "geometric")
 	truncatedTotal     = telemetry.Default().Counter("partition_truncated_total")
 	solverIterations   = telemetry.Default().Histogram("partition_solver_iterations", telemetry.ExpBuckets(1, 2, 10))
+	solverCacheHits    = telemetry.Default().Counter("partition_solver_cache_hits_total")
+	solverCacheMisses  = telemetry.Default().Counter("partition_solver_cache_misses_total")
 	residualImbalance  = telemetry.Default().Gauge("partition_residual_imbalance")
 	partitionedUnitsTo = telemetry.Default().Histogram("partition_problem_units", telemetry.ExpBuckets(10, 10, 7))
 )

@@ -10,7 +10,8 @@ import (
 // e drawn from a truncated normal distribution. System noise on a dedicated
 // HPC node is small and roughly symmetric, which this reproduces.
 type Noise struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	seed int64
 	// Sigma is the relative standard deviation of the noise (e.g. 0.02).
 	Sigma float64
 	// Clip bounds |e| so a single outlier cannot produce a non-positive or
@@ -21,7 +22,32 @@ type Noise struct {
 // NewNoise returns a reproducible noise source with the given seed and
 // relative standard deviation.
 func NewNoise(seed int64, sigma float64) *Noise {
-	return &Noise{rng: rand.New(rand.NewSource(seed)), Sigma: sigma}
+	return &Noise{rng: rand.New(rand.NewSource(seed)), seed: seed, Sigma: sigma}
+}
+
+// ForPoint derives an independent noise stream for the measurement point x.
+// The derived seed depends only on the parent's seed and on x — not on how
+// many draws other points have consumed — so measurements of different
+// points can run concurrently and still observe exactly the noise a
+// sequential sweep over the same points would produce. Repetitions at the
+// point draw from the derived stream sequentially.
+func (n *Noise) ForPoint(x float64) *Noise {
+	if n == nil {
+		return nil
+	}
+	seed := mixSeed(n.seed, x)
+	return &Noise{rng: rand.New(rand.NewSource(seed)), seed: seed, Sigma: n.Sigma, Clip: n.Clip}
+}
+
+// mixSeed combines a base seed with a problem size into a well-spread child
+// seed using the SplitMix64 finalizer, so neighbouring sizes (and
+// neighbouring base seeds) get uncorrelated streams.
+func mixSeed(seed int64, x float64) int64 {
+	z := uint64(seed) ^ math.Float64bits(x)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Perturb returns t*(1+e) with e ~ truncated N(0, Sigma^2).
