@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-all fuzz experiments report cover check clean
+.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check clean
 
 all: build test
 
@@ -23,18 +23,35 @@ race:
 
 # Key benchmarks captured in the committed baseline. The sequential/parallel
 # pairs demonstrate the worker-pool speedup for model building and experiment
-# sweeps; the partition benchmarks track solver cost.
-BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel
+# sweeps; the partition benchmarks track solver cost; the Gemm benchmarks
+# track the packed kernel against the seed blocked loop.
+BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel|Gemm
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
+# Optional suffix for the baseline filename (e.g. BENCH_TAG=-gemm writes
+# BENCH_2026-08-05-gemm.json), so a re-run on the same day can sit alongside
+# the existing baseline for `make benchcmp`.
+BENCH_TAG ?=
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... | tee bench_output.txt
-	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_$(BENCH_DATE).json
-	@echo "wrote BENCH_$(BENCH_DATE).json"
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_$(BENCH_DATE)$(BENCH_TAG).json
+	@echo "wrote BENCH_$(BENCH_DATE)$(BENCH_TAG).json"
 
 # Run every benchmark once without writing a baseline file.
 bench-all:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# CI smoke: one iteration of each GEMM benchmark, just to prove the kernels
+# (including the assembly micro-kernel, when the runner supports it) execute.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'Gemm' -benchtime=1x ./...
+
+# Diff two benchjson baselines: make benchcmp OLD=BENCH_a.json NEW=BENCH_b.json
+OLD ?=
+NEW ?=
+benchcmp:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make benchcmp OLD=BENCH_a.json NEW=BENCH_b.json"; exit 2; }
+	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
@@ -42,6 +59,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPiecewiseLinear -fuzztime=15s ./internal/fpm/
 	$(GO) test -fuzz=FuzzRoundShares -fuzztime=15s ./internal/partition/
 	$(GO) test -fuzz=FuzzFPMPartition -fuzztime=15s ./internal/partition/
+	$(GO) test -fuzz=FuzzGemmDifferential -fuzztime=15s ./internal/blas/
 
 experiments:
 	$(GO) run ./cmd/experiments

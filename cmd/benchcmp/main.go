@@ -1,0 +1,124 @@
+// Command benchcmp diffs two benchmark baselines produced by benchjson
+// (BENCH_<date>.json), reporting the per-benchmark change in ns/op and,
+// where present, throughput (MB/s — flops/s for the GEMM benchmarks).
+//
+// Usage:
+//
+//	go run ./cmd/benchcmp OLD.json NEW.json
+//
+// Benchmarks present in only one file are listed separately. The exit
+// status is always 0: the committed baselines document machines, they are
+// not a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result mirrors benchjson's per-benchmark record.
+type Result struct {
+	Name    string   `json:"name"`
+	Package string   `json:"package"`
+	Procs   int      `json:"procs"`
+	NsPerOp float64  `json:"ns_per_op"`
+	MBPerS  *float64 `json:"mb_per_s,omitempty"`
+}
+
+// Baseline mirrors benchjson's top-level document.
+type Baseline struct {
+	Date    string   `json:"date"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldB, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	newB, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("old: %s (%s, %s)\n", os.Args[1], oldB.Date, oldB.CPU)
+	fmt.Printf("new: %s (%s, %s)\n\n", os.Args[2], newB.Date, newB.CPU)
+
+	key := func(r Result) string { return r.Package + "." + r.Name }
+	oldBy := make(map[string]Result, len(oldB.Results))
+	for _, r := range oldB.Results {
+		oldBy[key(r)] = r
+	}
+	var common, added []Result
+	for _, r := range newB.Results {
+		if _, ok := oldBy[key(r)]; ok {
+			common = append(common, r)
+		} else {
+			added = append(added, r)
+		}
+	}
+	newKeys := make(map[string]bool, len(newB.Results))
+	for _, r := range newB.Results {
+		newKeys[key(r)] = true
+	}
+	var removed []Result
+	for _, r := range oldB.Results {
+		if !newKeys[key(r)] {
+			removed = append(removed, r)
+		}
+	}
+	for _, s := range [][]Result{common, added, removed} {
+		sort.Slice(s, func(i, j int) bool { return key(s[i]) < key(s[j]) })
+	}
+
+	if len(common) > 0 {
+		fmt.Printf("%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+		for _, r := range common {
+			o := oldBy[key(r)]
+			delta := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			line := fmt.Sprintf("%-60s %14.0f %14.0f %+8.1f%%", key(r), o.NsPerOp, r.NsPerOp, delta)
+			if o.MBPerS != nil && r.MBPerS != nil && *o.MBPerS > 0 {
+				line += fmt.Sprintf("   (%.0f -> %.0f MB/s, %+.1f%%)",
+					*o.MBPerS, *r.MBPerS, (*r.MBPerS-*o.MBPerS) / *o.MBPerS * 100)
+			}
+			fmt.Println(line)
+		}
+	}
+	report := func(title string, rs []Result) {
+		if len(rs) == 0 {
+			return
+		}
+		fmt.Printf("\n%s:\n", title)
+		for _, r := range rs {
+			fmt.Printf("  %-60s %14.0f ns/op\n", key(r), r.NsPerOp)
+		}
+	}
+	report("only in new", added)
+	report("only in old", removed)
+}
+
+func load(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Results) == 0 {
+		return b, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -46,6 +46,8 @@ func main() {
 		procs    = flag.Int("procs", 8, "real mode: number of processes")
 		version  = flag.Int("kernel", 2, "sim: GPU kernel version")
 		seed     = flag.Int64("seed", 1, "measurement-noise seed")
+		tune     = flag.Bool("tune", false, "real mode: autotune the GEMM blocking before running")
+		gemmCfg  = flag.String("gemm-config", "", "real mode: fixed GEMM blocking \"mc,kc,nc,mr,nr\" (overrides -tune)")
 		parallel = cliutil.Parallel()
 		tele     cliutil.TelemetryFlags
 	)
@@ -59,7 +61,7 @@ func main() {
 	case "sim":
 		err = runSim(&tele, *config, *n, *version, *seed, *parallel)
 	case "real":
-		err = runReal(*n, *b, *procs)
+		err = runReal(*n, *b, *procs, *tune, *gemmCfg)
 	case "trace":
 		err = runTrace(*n)
 	default:
@@ -160,9 +162,28 @@ func evenLayout(p, n int) (*layout.BlockLayout, error) {
 	return l.Discretize(n)
 }
 
-func runReal(n, b, procs int) error {
+func runReal(n, b, procs int, tune bool, gemmCfg string) error {
 	if n <= 0 || b <= 0 || procs <= 0 {
 		return fmt.Errorf("invalid real-mode parameters n=%d b=%d procs=%d", n, b, procs)
+	}
+	switch {
+	case gemmCfg != "":
+		var cfg blas.Config
+		if _, err := fmt.Sscanf(gemmCfg, "%d,%d,%d,%d,%d", &cfg.MC, &cfg.KC, &cfg.NC, &cfg.MR, &cfg.NR); err != nil {
+			return fmt.Errorf("bad -gemm-config %q (want mc,kc,nc,mr,nr): %v", gemmCfg, err)
+		}
+		if err := blas.SetTuned(cfg); err != nil {
+			return err
+		}
+		fmt.Printf("gemm kernel: fixed config %s\n", cfg)
+	case tune:
+		cfg, err := blas.Tune()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gemm kernel: autotuned to %s\n", cfg)
+	default:
+		fmt.Printf("gemm kernel: default config %s\n", blas.Active())
 	}
 	// Heterogeneous areas 1..5 cycling, like a mixed platform.
 	areas := make([]float64, procs)

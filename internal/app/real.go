@@ -77,8 +77,9 @@ func RunReal(bl *layout.BlockLayout, b int, a, bm, c *matrix.Dense) (RealResult,
 					errs[i] = err
 					return
 				}
-				// Each "process" is one rank: single-threaded GEMM.
-				errs[i] = blas.GemmBlocked(1, av, bv, 1, cv, 0)
+				// Each "process" is one rank: single-threaded packed GEMM
+				// on its strided C rectangle.
+				errs[i] = blas.GemmPacked(1, av, bv, 1, cv, blas.Active(), 1)
 				mu.Lock()
 				res.PerProcessSeconds[i] += time.Since(t0).Seconds()
 				mu.Unlock()

@@ -74,7 +74,7 @@ func (k *RealGEMMKernel) Run(x float64) (float64, error) {
 		workers = 1
 	}
 	start := time.Now()
-	if err := blas.GemmParallel(1, av, bv, 1, cv, 0, workers); err != nil {
+	if err := blas.GemmParallel(1, av, bv, 1, cv, workers); err != nil {
 		return 0, err
 	}
 	elapsed := time.Since(start).Seconds()

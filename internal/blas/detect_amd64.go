@@ -1,0 +1,40 @@
+//go:build amd64
+
+package blas
+
+// cpuidex and xgetbv are implemented in detect_amd64.s.
+
+// cpuidex executes CPUID with the given EAX/ECX inputs.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2FMA reports whether the CPU and OS support the AVX2+FMA
+// micro-kernel: FMA and AVX2 present, and the OS saves XMM/YMM state.
+var hasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set: the OS restores
+	// YMM registers across context switches.
+	xeax, _ := xgetbv()
+	if xeax&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

@@ -1,21 +1,46 @@
 // Package blas implements the single-precision GEMM kernel in pure Go for
-// the real (non-simulated) execution path: a reference implementation, a
-// cache-blocked implementation, and a goroutine-parallel implementation
-// standing in for the vendor BLAS libraries (ACML, CUBLAS) the paper uses.
+// the real (non-simulated) execution path, standing in for the vendor BLAS
+// libraries (ACML, CUBLAS) the paper uses. Three implementations are kept:
+//
+//   - GemmNaive: the reference triple loop the others are validated against.
+//   - GemmBlocked: the original single-level cache-tiled loop, retained as
+//     the seed baseline for benchmarks and as a second reference.
+//   - GemmPacked (used by Gemm and GemmParallel): a BLIS-style blocked
+//     algorithm — operands are packed into contiguous panels (pack.go),
+//     driven through a register-blocked mr×nr micro-kernel
+//     (microkernel.go), with cache/register tile sizes chosen per machine
+//     by a measuring autotuner (tune.go).
+//
+// Scaling semantics follow BLAS: beta == 0 overwrites C without reading it
+// (NaN/Inf already in C do not propagate), and alpha == 0 skips the product
+// entirely. For alpha != 0, NaN/Inf in A and B propagate into C exactly as
+// in the reference loop.
 package blas
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fpmpart/internal/matrix"
+	"fpmpart/internal/telemetry"
 )
 
-// Gemm computes C = alpha·A·B + beta·C using the blocked implementation
-// with a default tile size and all available cores.
+// Gemm computes C = alpha·A·B + beta·C using the packed kernel with the
+// active (autotuned or default) configuration and all available cores.
 func Gemm(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense) error {
-	return GemmParallel(alpha, a, b, beta, c, 0, 0)
+	return GemmPacked(alpha, a, b, beta, c, Active(), 0)
+}
+
+// GemmParallel computes C = alpha·A·B + beta·C on the packed kernel with
+// workers goroutines (0 = GOMAXPROCS). Work is partitioned tile-aligned
+// over the packed panels: workers pull mc-row blocks of C from a shared
+// queue, so every partition boundary coincides with a packing-panel
+// boundary and the result is bit-identical at any worker count.
+func GemmParallel(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense, workers int) error {
+	return GemmPacked(alpha, a, b, beta, c, Active(), workers)
 }
 
 func checkShapes(a, b, c *matrix.Dense) error {
@@ -43,18 +68,23 @@ func GemmNaive(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense)
 			for k := 0; k < a.Cols; k++ {
 				sum += a.At(i, k) * b.At(k, j)
 			}
-			c.Set(i, j, alpha*sum+beta*c.At(i, j))
+			if beta == 0 {
+				c.Set(i, j, alpha*sum)
+			} else {
+				c.Set(i, j, alpha*sum+beta*c.At(i, j))
+			}
 		}
 	}
 	return nil
 }
 
-// DefaultTile is the cache tile used when none is specified; sized so three
-// float32 tiles fit comfortably in a typical L1/L2.
+// DefaultTile is the cache tile used by GemmBlocked when none is specified.
 const DefaultTile = 64
 
 // GemmBlocked computes C = alpha·A·B + beta·C with i-k-j loop order and
-// square tiling for cache locality. tile <= 0 selects DefaultTile.
+// square tiling for cache locality. tile <= 0 selects DefaultTile. This is
+// the seed kernel, kept as the baseline the packed kernel is measured
+// against.
 func GemmBlocked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense, tile int) error {
 	if err := checkShapes(a, b, c); err != nil {
 		return err
@@ -69,20 +99,7 @@ func GemmBlocked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dens
 // gemmBlockedRange updates rows [i0, i1) of C.
 func gemmBlockedRange(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense, i0, i1, tile int) {
 	m, n, kk := i1, c.Cols, a.Cols
-	if beta != 1 {
-		for i := i0; i < m; i++ {
-			row := c.Data[i*c.Stride : i*c.Stride+n]
-			if beta == 0 {
-				for j := range row {
-					row[j] = 0
-				}
-			} else {
-				for j := range row {
-					row[j] *= beta
-				}
-			}
-		}
-	}
+	applyBetaRange(beta, c, i0, i1)
 	for it := i0; it < m; it += tile {
 		iMax := min(it+tile, m)
 		for kt := 0; kt < kk; kt += tile {
@@ -93,10 +110,10 @@ func gemmBlockedRange(alpha float32, a, b *matrix.Dense, beta float32, c *matrix
 					crow := c.Data[i*c.Stride:]
 					arow := a.Data[i*a.Stride:]
 					for k := kt; k < kMax; k++ {
+						// No zero fast path: skipping aik == 0 would also
+						// skip NaN/Inf in B that the reference loop
+						// propagates.
 						aik := alpha * arow[k]
-						if aik == 0 {
-							continue
-						}
 						brow := b.Data[k*b.Stride:]
 						for j := jt; j < jMax; j++ {
 							crow[j] += aik * brow[j]
@@ -108,46 +125,220 @@ func gemmBlockedRange(alpha float32, a, b *matrix.Dense, beta float32, c *matrix
 	}
 }
 
-// GemmParallel computes C = alpha·A·B + beta·C, splitting C's rows across
-// workers goroutines (0 = GOMAXPROCS), each running the blocked kernel.
-func GemmParallel(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense, tile, workers int) error {
+// applyBetaRange scales rows [i0, i1) of C by beta (beta == 0 overwrites
+// with zeros, BLAS-style; beta == 1 is a no-op).
+func applyBetaRange(beta float32, c *matrix.Dense, i0, i1 int) {
+	if beta == 1 {
+		return
+	}
+	n := c.Cols
+	for i := i0; i < i1; i++ {
+		row := c.Data[i*c.Stride : i*c.Stride+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// GemmPacked computes C = alpha·A·B + beta·C with the packed,
+// register-blocked algorithm under an explicit blocking configuration.
+// workers <= 0 selects GOMAXPROCS. All operands may be strided views.
+//
+// The loop nest is the standard five-loop BLIS structure: for each kc×nc
+// block of B (packed once, reused across the whole M dimension) and each
+// mc×kc block of A (packed per worker), the macro-kernel sweeps mr×nr
+// register tiles of C. alpha is folded into the packed A panels; beta is
+// applied to C in one pre-pass.
+func GemmPacked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense, cfg Config, workers int) error {
 	if err := checkShapes(a, b, c); err != nil {
 		return err
 	}
-	if tile <= 0 {
-		tile = DefaultTile
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > c.Rows {
-		workers = c.Rows
+	m, n, k := c.Rows, c.Cols, a.Cols
+
+	telemetryOn := telemetry.Default().Enabled()
+	var wallStart time.Time
+	var packNanos, computeNanos atomic.Int64
+	if telemetryOn {
+		wallStart = time.Now()
 	}
-	if workers <= 1 {
-		gemmBlockedRange(alpha, a, b, beta, c, 0, c.Rows, tile)
+
+	applyBetaRange(beta, c, 0, m)
+	if alpha == 0 {
+		if telemetryOn {
+			recordGemm(m, n, 0, 0, 0, time.Since(wallStart).Seconds())
+		}
 		return nil
 	}
-	var wg sync.WaitGroup
-	chunk := (c.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		i1 := min(i0+chunk, c.Rows)
-		if i0 >= i1 {
-			break
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			gemmBlockedRange(alpha, a, b, beta, c, i0, i1, tile)
-		}(i0, i1)
+
+	mr, nr := cfg.MR, cfg.NR
+	kern := kernelFor(mr, nr)
+	// Clamp the cache blocks to the problem, keeping mc/nc multiples of the
+	// register tile so panel indexing stays aligned.
+	kc := min(cfg.KC, k)
+	mc := min(cfg.MC, ceilDiv(m, mr)*mr)
+	nc := min(cfg.NC, ceilDiv(n, nr)*nr)
+
+	bbufP := getPanelBuf(ceilDiv(nc, nr) * nr * kc)
+	defer putPanelBuf(bbufP)
+	bbuf := *bbufP
+
+	nBlocksM := ceilDiv(m, mc)
+	if workers > nBlocksM {
+		workers = nBlocksM
 	}
-	wg.Wait()
+
+	for jc := 0; jc < n; jc += nc {
+		ncLen := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcLen := min(kc, k-pc)
+
+			var t0 time.Time
+			if telemetryOn {
+				t0 = time.Now()
+			}
+			if workers > 1 {
+				packBParallel(bbuf, b, pc, jc, kcLen, ncLen, nr, workers)
+			} else {
+				packB(bbuf, b, pc, jc, kcLen, ncLen, nr)
+			}
+			if telemetryOn {
+				packNanos.Add(int64(time.Since(t0)))
+			}
+
+			if workers <= 1 {
+				gemmWorker(kern, alpha, a, bbuf, c, 0, nBlocksM, nil,
+					jc, pc, mc, kcLen, ncLen, mr, nr, telemetryOn, &packNanos, &computeNanos)
+				continue
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					gemmWorker(kern, alpha, a, bbuf, c, 0, nBlocksM, &next,
+						jc, pc, mc, kcLen, ncLen, mr, nr, telemetryOn, &packNanos, &computeNanos)
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	if telemetryOn {
+		recordGemm(m, n, k,
+			float64(packNanos.Load())/1e9,
+			float64(computeNanos.Load())/1e9,
+			time.Since(wallStart).Seconds())
+	}
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// gemmWorker processes mc-row blocks of C for one (jc, pc) step. With a
+// non-nil queue it pulls block indices from the shared atomic counter
+// (tile-aligned work stealing); otherwise it sweeps [blk0, blkN)
+// sequentially. Each worker packs its own A block into a pooled buffer.
+func gemmWorker(kern microKernel, alpha float32, a *matrix.Dense, bbuf []float32, c *matrix.Dense,
+	blk0, blkN int, queue *atomic.Int64,
+	jc, pc, mc, kcLen, ncLen, mr, nr int,
+	telemetryOn bool, packNanos, computeNanos *atomic.Int64) {
+
+	m := c.Rows
+	abufP := getPanelBuf(ceilDiv(mc, mr) * mr * kcLen)
+	defer putPanelBuf(abufP)
+	abuf := *abufP
+
+	for {
+		var blk int
+		if queue != nil {
+			blk = int(queue.Add(1)) - 1
+		} else {
+			blk = blk0
+			blk0++
+		}
+		if blk >= blkN {
+			return
+		}
+		ic := blk * mc
+		mcLen := min(mc, m-ic)
+
+		var t0 time.Time
+		if telemetryOn {
+			t0 = time.Now()
+		}
+		packA(abuf, a, alpha, ic, pc, mcLen, kcLen, mr)
+		if telemetryOn {
+			now := time.Now()
+			packNanos.Add(int64(now.Sub(t0)))
+			t0 = now
+		}
+		macroKernel(kern, abuf, bbuf, c, ic, jc, mcLen, ncLen, kcLen, mr, nr)
+		if telemetryOn {
+			computeNanos.Add(int64(time.Since(t0)))
+		}
 	}
-	return b
+}
+
+// packBParallel splits one B-block pack across workers by nr-panel ranges.
+func packBParallel(dst []float32, b *matrix.Dense, p0, j0, kcols, ncols, nr, workers int) {
+	panels := ceilDiv(ncols, nr)
+	if workers > panels {
+		workers = panels
+	}
+	per := ceilDiv(panels, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		s0 := w * per
+		s1 := min(s0+per, panels)
+		if s0 >= s1 {
+			break
+		}
+		wg.Add(1)
+		go func(s0, s1 int) {
+			defer wg.Done()
+			packBPanels(dst, b, p0, j0, kcols, ncols, nr, s0, s1)
+		}(s0, s1)
+	}
+	wg.Wait()
+}
+
+// macroKernel sweeps the register tiles of one (mcLen × ncLen) C block:
+// for each packed kc×nr B micro-panel (held in L1 across the sweep) it
+// streams every packed A micro-panel through the micro-kernel. Full tiles
+// update C in place; fringe tiles stage through a zeroed stack buffer and
+// add back only the valid h×w region.
+func macroKernel(kern microKernel, abuf, bbuf []float32, c *matrix.Dense,
+	i0, j0, mcLen, ncLen, kcLen, mr, nr int) {
+	for jr := 0; jr < ncLen; jr += nr {
+		w := min(nr, ncLen-jr)
+		bpan := bbuf[(jr/nr)*kcLen*nr:]
+		for ir := 0; ir < mcLen; ir += mr {
+			h := min(mr, mcLen-ir)
+			apan := abuf[(ir/mr)*kcLen*mr:]
+			if h == mr && w == nr {
+				cb := c.Data[(i0+ir)*c.Stride+j0+jr:]
+				kern(kcLen, apan, bpan, cb, c.Stride)
+				continue
+			}
+			var tmp [maxMR * maxNR]float32
+			kern(kcLen, apan, bpan, tmp[:], nr)
+			for i := 0; i < h; i++ {
+				crow := c.Data[(i0+ir+i)*c.Stride+j0+jr:]
+				trow := tmp[i*nr:]
+				for j := 0; j < w; j++ {
+					crow[j] += trow[j]
+				}
+			}
+		}
+	}
 }

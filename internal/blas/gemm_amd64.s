@@ -1,0 +1,94 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func microKernel6x16AVX2(kc int, a, b, c []float32, ldc int)
+//
+// C[0:6, 0:16] += Ā·B̄ over a packed kc×6 A micro-panel and a packed
+// kc×16 B micro-panel. Row i of the register tile lives in Y(2i), Y(2i+1);
+// Y12/Y13 hold the current B vectors and Y14 the broadcast A element.
+TEXT ·microKernel6x16AVX2(SB), NOSPLIT, $0-88
+	MOVQ kc+0(FP), CX
+	MOVQ a_base+8(FP), DI
+	MOVQ b_base+32(FP), SI
+	MOVQ c_base+56(FP), DX
+	MOVQ ldc+80(FP), R8
+	SHLQ $2, R8              // ldc in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+	TESTQ CX, CX
+	JZ    writeback
+
+kloop:
+	VMOVUPS (SI), Y12        // B̄[p, 0:8]
+	VMOVUPS 32(SI), Y13      // B̄[p, 8:16]
+
+	VBROADCASTSS (DI), Y14   // Ā[p, 0]
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+	VBROADCASTSS 4(DI), Y14
+	VFMADD231PS  Y12, Y14, Y2
+	VFMADD231PS  Y13, Y14, Y3
+	VBROADCASTSS 8(DI), Y14
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+	VBROADCASTSS 12(DI), Y14
+	VFMADD231PS  Y12, Y14, Y6
+	VFMADD231PS  Y13, Y14, Y7
+	VBROADCASTSS 16(DI), Y14
+	VFMADD231PS  Y12, Y14, Y8
+	VFMADD231PS  Y13, Y14, Y9
+	VBROADCASTSS 20(DI), Y14
+	VFMADD231PS  Y12, Y14, Y10
+	VFMADD231PS  Y13, Y14, Y11
+
+	ADDQ $24, DI             // next Ā depth step (6 floats)
+	ADDQ $64, SI             // next B̄ depth step (16 floats)
+	DECQ CX
+	JNZ  kloop
+
+writeback:
+	VADDPS  (DX), Y0, Y12
+	VMOVUPS Y12, (DX)
+	VADDPS  32(DX), Y1, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y2, Y12
+	VMOVUPS Y12, (DX)
+	VADDPS  32(DX), Y3, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y4, Y12
+	VMOVUPS Y12, (DX)
+	VADDPS  32(DX), Y5, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y6, Y12
+	VMOVUPS Y12, (DX)
+	VADDPS  32(DX), Y7, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y8, Y12
+	VMOVUPS Y12, (DX)
+	VADDPS  32(DX), Y9, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y10, Y12
+	VMOVUPS Y12, (DX)
+	VADDPS  32(DX), Y11, Y13
+	VMOVUPS Y13, 32(DX)
+
+	VZEROUPPER
+	RET

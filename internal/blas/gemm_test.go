@@ -20,7 +20,8 @@ func TestShapeValidation(t *testing.T) {
 	for name, f := range map[string]func() error{
 		"naive":    func() error { return GemmNaive(1, a, b, 0, c) },
 		"blocked":  func() error { return GemmBlocked(1, a, b, 0, c, 0) },
-		"parallel": func() error { return GemmParallel(1, a, b, 0, c, 0, 0) },
+		"parallel": func() error { return GemmParallel(1, a, b, 0, c, 0) },
+		"packed":   func() error { return GemmPacked(1, a, b, 0, c, DefaultConfig, 1) },
 	} {
 		if err := f(); err == nil {
 			t.Errorf("%s: inner mismatch accepted", name)
@@ -90,13 +91,17 @@ func TestImplementationsAgree(t *testing.T) {
 		c1 := ref.Clone()
 		c2 := ref.Clone()
 		c3 := ref.Clone()
+		c4 := ref.Clone()
 		if err := GemmNaive(1.5, a, b, 0.5, c1); err != nil {
 			t.Fatal(err)
 		}
 		if err := GemmBlocked(1.5, a, b, 0.5, c2, 16); err != nil {
 			t.Fatal(err)
 		}
-		if err := GemmParallel(1.5, a, b, 0.5, c3, 16, 4); err != nil {
+		if err := GemmParallel(1.5, a, b, 0.5, c3, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := GemmPacked(1.5, a, b, 0.5, c4, Config{MC: 16, KC: 8, NC: 16, MR: 4, NR: 4}, 1); err != nil {
 			t.Fatal(err)
 		}
 		// float32 accumulation order differs; allow small tolerance scaled
@@ -107,6 +112,9 @@ func TestImplementationsAgree(t *testing.T) {
 		}
 		if d := matrix.MaxAbsDiff(c1, c3); d > tol {
 			t.Errorf("%v: parallel differs from naive by %v", s, d)
+		}
+		if d := matrix.MaxAbsDiff(c1, c4); d > tol {
+			t.Errorf("%v: packed differs from naive by %v", s, d)
 		}
 	}
 }
@@ -123,7 +131,7 @@ func TestGemmOnViews(t *testing.T) {
 	if err := GemmNaive(1, a.Clone(), b.Clone(), 0, want); err != nil {
 		t.Fatal(err)
 	}
-	if err := GemmParallel(1, a, b, 0, c, 8, 2); err != nil {
+	if err := GemmParallel(1, a, b, 0, c, 2); err != nil {
 		t.Fatal(err)
 	}
 	if d := matrix.MaxAbsDiff(c, want); d > 1e-3 {
@@ -139,7 +147,7 @@ func TestParallelWorkerEdgeCases(t *testing.T) {
 	}
 	for _, workers := range []int{1, 2, 3, 64} {
 		c := matrix.MustNew(3, 3)
-		if err := GemmParallel(1, a, b, 0, c, 0, workers); err != nil {
+		if err := GemmParallel(1, a, b, 0, c, workers); err != nil {
 			t.Fatal(err)
 		}
 		if matrix.MaxAbsDiff(c, want) > 1e-4 {
@@ -179,7 +187,7 @@ func TestGemmIdentityProperty(t *testing.T) {
 			id.Set(i, i, 1)
 		}
 		c := matrix.MustNew(n, n)
-		if GemmParallel(1, a, id, 0, c, 4, 2) != nil {
+		if GemmParallel(1, a, id, 0, c, 2) != nil {
 			return false
 		}
 		return matrix.MaxAbsDiff(c, a) < 1e-5

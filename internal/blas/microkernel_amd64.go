@@ -1,0 +1,10 @@
+//go:build amd64
+
+package blas
+
+// microKernel6x16AVX2 is the AVX2+FMA register tile: 6 rows × 16 columns
+// of C held in 12 YMM accumulators, with two YMM loads of the packed B
+// micro-panel and six broadcasts of the packed A micro-panel per depth
+// step (12 fused multiply-adds = 192 flops per iteration). Implemented in
+// gemm_amd64.s; only called when hasAVX2FMA is true.
+func microKernel6x16AVX2(kc int, a, b, c []float32, ldc int)

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package blas
+
+// hasAVX2FMA is false off amd64; the scalar unrolled kernels are used.
+var hasAVX2FMA = false
+
+// microKernel6x16AVX2 falls back to the generic kernel on non-amd64
+// targets. It is only reachable if a 6x16 configuration is installed
+// explicitly (the autotuner does not propose it without hasAVX2FMA).
+func microKernel6x16AVX2(kc int, a, b, c []float32, ldc int) {
+	microKernelGeneric(6, 16, kc, a, b, c, ldc)
+}

@@ -1,0 +1,76 @@
+package blas
+
+import (
+	"fpmpart/internal/telemetry"
+)
+
+// Kernel telemetry: where GEMM wall time goes (packing vs micro-kernel
+// compute), the throughput achieved, and which tile set the autotuner
+// picked. Everything is recorded on the process-wide registry and is free
+// while telemetry is disabled, so the hot path only pays when a tool runs
+// with -metrics-addr / -telemetry-json.
+var (
+	gemmCalls          = telemetry.Default().Counter("blas_gemm_calls_total")
+	gemmFlopsTotal     = telemetry.Default().Counter("blas_gemm_flops_total")
+	gemmPackSeconds    = telemetry.Default().Counter("blas_gemm_pack_seconds_total")
+	gemmComputeSeconds = telemetry.Default().Counter("blas_gemm_compute_seconds_total")
+	gemmGflops         = telemetry.Default().Histogram("blas_gemm_gflops", telemetry.ExpBuckets(0.125, 2, 12))
+	tuneSeconds        = telemetry.Default().Gauge("blas_tune_seconds")
+	tileMC             = telemetry.Default().Gauge("blas_tile_mc")
+	tileKC             = telemetry.Default().Gauge("blas_tile_kc")
+	tileNC             = telemetry.Default().Gauge("blas_tile_nc")
+	tileMR             = telemetry.Default().Gauge("blas_tile_mr")
+	tileNR             = telemetry.Default().Gauge("blas_tile_nr")
+)
+
+// recordGemm publishes one packed-GEMM call's breakdown. flops is the
+// nominal 2·m·n·k operation count; packSec/computeSec are summed across
+// workers, wallSec is elapsed time (the GFLOPS denominator).
+func recordGemm(m, n, k int, packSec, computeSec, wallSec float64) {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return
+	}
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	gemmCalls.Inc()
+	gemmFlopsTotal.Add(flops)
+	gemmPackSeconds.Add(packSec)
+	gemmComputeSeconds.Add(computeSec)
+	if wallSec > 0 {
+		gemmGflops.Observe(flops / wallSec / 1e9)
+	}
+}
+
+// recordTuned publishes an externally installed tile set (SetTuned).
+func recordTuned(cfg Config) {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return
+	}
+	setTileGauges(cfg)
+	reg.Event("blas.config", "config", cfg.String())
+}
+
+// recordTune publishes the autotuner's winner and its trial throughput.
+func recordTune(cfg Config, trialSec, gflops, totalSec float64) {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return
+	}
+	setTileGauges(cfg)
+	tuneSeconds.Set(totalSec)
+	reg.Event("blas.tune",
+		"config", cfg.String(),
+		"trial_seconds", trialSec,
+		"trial_gflops", gflops,
+		"tune_seconds", totalSec,
+	)
+}
+
+func setTileGauges(cfg Config) {
+	tileMC.Set(float64(cfg.MC))
+	tileKC.Set(float64(cfg.KC))
+	tileNC.Set(float64(cfg.NC))
+	tileMR.Set(float64(cfg.MR))
+	tileNR.Set(float64(cfg.NR))
+}

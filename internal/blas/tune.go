@@ -1,0 +1,212 @@
+package blas
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fpmpart/internal/matrix"
+)
+
+// Config is one cache/register blocking parameter set for the packed GEMM:
+// mc×kc blocks of A (sized for L2), kc×nc blocks of B (sized for L3, reused
+// across the whole ic loop), and an mr×nr register tile.
+type Config struct {
+	MC, KC, NC int
+	MR, NR     int
+}
+
+// DefaultConfig is a conservative parameter set that performs well without
+// tuning. On amd64 with AVX2+FMA it selects the 6×16 assembly register
+// tile (12 YMM accumulators); elsewhere the 8×4 scalar tile, which keeps
+// 32 accumulators plus operand temporaries within what the compiler
+// allocates to registers with modest spilling. In both cases the A block
+// (~120×256 float32 ≈ 120 KiB) fits mid-size L2 caches and the B
+// micro-panel (256×nr float32) stays in L1 across a panel sweep.
+var DefaultConfig = defaultConfig()
+
+func defaultConfig() Config {
+	if hasAVX2FMA {
+		return Config{MC: 120, KC: 256, NC: 2048, MR: 6, NR: 16}
+	}
+	return Config{MC: 128, KC: 256, NC: 2048, MR: 8, NR: 4}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MC <= 0 || c.KC <= 0 || c.NC <= 0 {
+		return fmt.Errorf("blas: invalid cache blocking mc=%d kc=%d nc=%d", c.MC, c.KC, c.NC)
+	}
+	if c.MR <= 0 || c.NR <= 0 || c.MR > maxMR || c.NR > maxNR {
+		return fmt.Errorf("blas: register tile %dx%d outside 1..%dx1..%d", c.MR, c.NR, maxMR, maxNR)
+	}
+	if c.MC%c.MR != 0 {
+		return fmt.Errorf("blas: mc=%d not a multiple of mr=%d", c.MC, c.MR)
+	}
+	if c.NC%c.NR != 0 {
+		return fmt.Errorf("blas: nc=%d not a multiple of nr=%d", c.NC, c.NR)
+	}
+	return nil
+}
+
+// String renders the tile set compactly, e.g. "mc128 kc256 nc2048 r8x4".
+func (c Config) String() string {
+	return fmt.Sprintf("mc%d kc%d nc%d r%dx%d", c.MC, c.KC, c.NC, c.MR, c.NR)
+}
+
+// tuned holds the process-wide autotuned configuration.
+var tuned struct {
+	mu  sync.Mutex
+	cfg Config
+	ok  bool
+}
+
+// Active returns the configuration the package-level entry points (Gemm,
+// GemmParallel) use: the autotuned one when Tune or SetTuned has run,
+// DefaultConfig otherwise.
+func Active() Config {
+	tuned.mu.Lock()
+	defer tuned.mu.Unlock()
+	if tuned.ok {
+		return tuned.cfg
+	}
+	return DefaultConfig
+}
+
+// Tuned reports the cached autotuned configuration, if any.
+func Tuned() (Config, bool) {
+	tuned.mu.Lock()
+	defer tuned.mu.Unlock()
+	return tuned.cfg, tuned.ok
+}
+
+// SetTuned installs cfg as the process-wide configuration (e.g. one
+// restored from a previous run). It replaces any earlier Tune result.
+func SetTuned(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	tuned.mu.Lock()
+	tuned.cfg, tuned.ok = cfg, true
+	tuned.mu.Unlock()
+	recordTuned(cfg)
+	return nil
+}
+
+// TuneOptions controls the autotuner's trial budget.
+type TuneOptions struct {
+	// N is the square trial problem size (default 256): large enough that
+	// packing amortises and the kc loop runs more than once, small enough
+	// that a full search stays well under a second.
+	N int
+	// Reps is how many timed runs each candidate gets; the fastest counts
+	// (default 2).
+	Reps int
+	// Workers is the worker count trials run with (default 1 — the
+	// register/cache tiles that win single-threaded win parallel too, since
+	// workers share the same per-core hierarchy).
+	Workers int
+}
+
+// tuneCandidates is the autotuner search space: every implemented unrolled
+// register tile crossed with cache blockings from small-L2 to large-L2
+// machines. NC is fixed per candidate at a size where the packed B block
+// (kc×nc float32) stays within a few MiB of last-level cache.
+func tuneCandidates() []Config {
+	tiles := [][2]int{{4, 4}, {8, 4}, {6, 4}, {4, 8}, {8, 8}}
+	if hasAVX2FMA {
+		// The assembly tile dominates the scalar ones wherever it runs, so
+		// put the trial budget into its cache blockings instead.
+		tiles = [][2]int{{6, 16}, {8, 8}, {8, 4}}
+	}
+	var out []Config
+	for _, rt := range tiles {
+		mr, nr := rt[0], rt[1]
+		for _, cb := range [][2]int{{64, 256}, {128, 256}, {256, 256}, {128, 512}} {
+			mc := cb[0] - cb[0]%mr
+			nc := 2048 - 2048%nr
+			out = append(out, Config{MC: mc, KC: cb[1], NC: nc, MR: mr, NR: nr})
+		}
+	}
+	return out
+}
+
+// Tune times every candidate configuration on a short GEMM trial, installs
+// the fastest as the process-wide configuration, and returns it. The result
+// is cached: subsequent calls return the cached winner without re-running
+// trials. Trial operands are seeded, so a machine always tunes to the same
+// data.
+func Tune() (Config, error) { return TuneWith(TuneOptions{}) }
+
+// TuneWith is Tune with an explicit trial budget.
+func TuneWith(opts TuneOptions) (Config, error) {
+	if opts.N <= 0 {
+		opts.N = 256
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	tuned.mu.Lock()
+	if tuned.ok {
+		cfg := tuned.cfg
+		tuned.mu.Unlock()
+		return cfg, nil
+	}
+	tuned.mu.Unlock()
+
+	n := opts.N
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	c := matrix.MustNew(n, n)
+	a.FillRandom(11)
+	b.FillRandom(12)
+
+	start := time.Now()
+	best := Config{}
+	bestSec := 0.0
+	for _, cand := range tuneCandidates() {
+		if err := cand.Validate(); err != nil {
+			return Config{}, err
+		}
+		sec, err := tuneTrial(cand, a, b, c, opts)
+		if err != nil {
+			return Config{}, err
+		}
+		if bestSec == 0 || sec < bestSec {
+			best, bestSec = cand, sec
+		}
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	recordTune(best, bestSec, flops/bestSec/1e9, time.Since(start).Seconds())
+
+	tuned.mu.Lock()
+	// Another goroutine may have raced us here; first writer wins so every
+	// caller observes one stable configuration.
+	if !tuned.ok {
+		tuned.cfg, tuned.ok = best, true
+	} else {
+		best = tuned.cfg
+	}
+	tuned.mu.Unlock()
+	return best, nil
+}
+
+// tuneTrial times one candidate: best of opts.Reps runs.
+func tuneTrial(cfg Config, a, b, c *matrix.Dense, opts TuneOptions) (float64, error) {
+	var best float64
+	for r := 0; r < opts.Reps; r++ {
+		c.Zero()
+		t0 := time.Now()
+		if err := GemmPacked(1, a, b, 1, c, cfg, opts.Workers); err != nil {
+			return 0, err
+		}
+		sec := time.Since(t0).Seconds()
+		if best == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best, nil
+}

@@ -52,14 +52,20 @@ func (m *Dense) CheckedAt(i, j int) (float32, error) {
 }
 
 // View returns a sub-matrix sharing storage with m: rows [i, i+rows) and
-// columns [j, j+cols).
+// columns [j, j+cols). The view's Data is capped (three-index slice) at one
+// past the last addressable view element, so indexing beyond the final row
+// panics instead of silently corrupting a neighbouring partition. Writes
+// into the stride gap of a non-final row cannot be caught this way; the gap
+// belongs to the parent by construction.
 func (m *Dense) View(i, j, rows, cols int) (*Dense, error) {
 	if i < 0 || j < 0 || rows <= 0 || cols <= 0 || i+rows > m.Rows || j+cols > m.Cols {
 		return nil, fmt.Errorf("matrix: view (%d,%d,%d,%d) out of %dx%d", i, j, rows, cols, m.Rows, m.Cols)
 	}
+	lo := i*m.Stride + j
+	hi := lo + (rows-1)*m.Stride + cols
 	return &Dense{
 		Rows: rows, Cols: cols, Stride: m.Stride,
-		Data: m.Data[i*m.Stride+j:],
+		Data: m.Data[lo:hi:hi],
 	}, nil
 }
 

@@ -66,6 +66,55 @@ func TestViewSharesStorage(t *testing.T) {
 	}
 }
 
+func TestViewStorageIsBounded(t *testing.T) {
+	m := MustNew(10, 10)
+	v, err := m.View(0, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data must end exactly one past the last addressable view element:
+	// (rows-1)*Stride + cols = 1*10 + 2.
+	if want := 12; len(v.Data) != want || cap(v.Data) != want {
+		t.Fatalf("view Data len/cap = %d/%d, want %d/%d", len(v.Data), cap(v.Data), want, want)
+	}
+	// A write past the final view row must panic instead of silently
+	// corrupting the parent's row 5 (the old unbounded view allowed it).
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-view write did not panic")
+		}
+		if m.At(5, 0) != 0 {
+			t.Error("out-of-view write corrupted the parent")
+		}
+	}()
+	v.Set(5, 0, 1)
+}
+
+func TestViewOfViewIsBounded(t *testing.T) {
+	m := MustNew(10, 10)
+	outer, err := m.View(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := outer.View(1, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.Set(1, 1, 7)
+	if m.At(4, 4) != 7 {
+		t.Error("nested view write not visible in root")
+	}
+	if want := 1*10 + 2; len(inner.Data) != want || cap(inner.Data) != want {
+		t.Errorf("nested view Data len/cap = %d/%d, want %d", len(inner.Data), cap(inner.Data), want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-view write through nested view did not panic")
+		}
+	}()
+	inner.Set(3, 0, 1)
+}
+
 func TestCloneIsDeepAndCompact(t *testing.T) {
 	m := MustNew(4, 4)
 	m.FillRandom(1)
