@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check clean
+.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck clean
 
 all: build test
 
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Pinned staticcheck, fetched on demand by the module cache (2023.1.7 is the
+# release that supports Go 1.22). Not part of `check` so offline builds work.
+STATICCHECK_VERSION ?= 2023.1.7
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Key benchmarks captured in the committed baseline. The sequential/parallel
 # pairs demonstrate the worker-pool speedup for model building and experiment

@@ -36,9 +36,16 @@ func main() {
 		traceN   = flag.Int("trace-n", 60, "problem size (blocks) of the hybrid run exported by -trace-out")
 		parallel = cliutil.Parallel()
 		tele     cliutil.TelemetryFlags
+		flt      cliutil.FaultFlags
 	)
 	tele.Register()
+	flt.Register()
 	flag.Parse()
+
+	if err := flt.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -83,6 +90,8 @@ func main() {
 		NoiseSigma:  *sigma,
 		Version:     gpukernel.Version(*version),
 		Parallelism: *parallel,
+		FaultSpec:   flt.Spec,
+		FaultSeed:   flt.Seed,
 	}
 	if *report != "" {
 		f, err := os.Create(*report)

@@ -46,6 +46,11 @@ func (o AdaptiveOptions) withDefaults(lo, hi float64) (AdaptiveOptions, error) {
 	if o.MaxPoints < 0 {
 		return o, fmt.Errorf("bench: negative adaptive point budget %d", o.MaxPoints)
 	}
+	if o.MaxPoints > 0 && o.MaxPoints < 2 {
+		// The range endpoints are always measured, so a budget of 1 would be
+		// silently overspent before refinement even starts.
+		return o, fmt.Errorf("bench: adaptive point budget %d below the 2 endpoint measurements", o.MaxPoints)
+	}
 	if o.RelTol == 0 {
 		o.RelTol = 0.05
 	}

@@ -105,6 +105,28 @@ func TestAdaptiveValidation(t *testing.T) {
 	}
 }
 
+func TestAdaptiveMaxPointsBoundary(t *testing.T) {
+	ok := &FuncKernel{KernelName: "ok", F: func(x float64) (float64, error) { return x, nil }}
+	// The endpoints are always measured, so a budget of 1 cannot be honoured
+	// and must be rejected instead of silently overspent.
+	if _, _, err := BuildModelAdaptive(ok, 1, 10, AdaptiveOptions{MaxPoints: 1}); err == nil {
+		t.Error("MaxPoints=1 accepted")
+	}
+	// MaxPoints=2 is the smallest valid budget: exactly the two endpoints,
+	// no refinement.
+	_, rep, err := BuildModelAdaptive(ok, 1, 10, AdaptiveOptions{MaxPoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("measured %d points with budget 2, want exactly the endpoints: %+v", len(rep.Points), rep.Points)
+	}
+	sizes := map[float64]bool{rep.Points[0].Size: true, rep.Points[1].Size: true}
+	if !sizes[1] || !sizes[10] {
+		t.Errorf("points are not the range endpoints: %+v", rep.Points)
+	}
+}
+
 func TestAdaptiveFindsGPUMemoryCliff(t *testing.T) {
 	// End to end: the adaptive builder should resolve the GTX680's
 	// out-of-core cliff with fewer points than a uniform grid needs.

@@ -1,0 +1,31 @@
+package cliutil
+
+import (
+	"flag"
+
+	"fpmpart/internal/faults"
+)
+
+// FaultFlags is the shared fault-injection flag set of the cmd/ tools:
+// -fault-spec selects the faults to inject into resilient runs, -fault-seed
+// resolves seed-drawn fault parameters.
+type FaultFlags struct {
+	// Spec is the -fault-spec value (faults.ParseSpec syntax).
+	Spec string
+	// Seed is the -fault-seed value.
+	Seed int64
+}
+
+// Register installs -fault-spec and -fault-seed on the default flag set.
+func (f *FaultFlags) Register() {
+	flag.StringVar(&f.Spec, "fault-spec", "",
+		"faults to inject into resilient runs, e.g. 'crash:dev=0,iter=30;stall:dev=1,iter=5,len=3;slow:dev=2,iter=20,factor=2.5' (empty = experiment default)")
+	flag.Int64Var(&f.Seed, "fault-seed", 1,
+		"seed resolving unspecified fault parameters (stall lengths, slowdown factors)")
+}
+
+// Validate parses the spec, reporting syntax errors before a run starts.
+func (f *FaultFlags) Validate() error {
+	_, err := faults.ParseSpec(f.Spec)
+	return err
+}

@@ -1,0 +1,18 @@
+package cliutil
+
+import "testing"
+
+func TestFaultFlagsValidate(t *testing.T) {
+	var ff FaultFlags
+	if err := ff.Validate(); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+	ff.Spec = "crash:dev=0,iter=30;slow:dev=2,iter=20,factor=2.5"
+	if err := ff.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	ff.Spec = "explode:dev=0"
+	if err := ff.Validate(); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -102,6 +102,68 @@ func TestZeroUnitDeviceCanReenter(t *testing.T) {
 	}
 }
 
+func TestIdleProbeUsesAverageSpeed(t *testing.T) {
+	// An idle device has no observed speed; the balancer probes it with the
+	// average apparent speed total/p/hi. Equal per-unit costs, start
+	// [100, 0]: hi = 100 s, so the probe speed is 100/2/100 = 0.5 against
+	// device 0's observed 1.0 — the next distribution must be [67, 33].
+	o := linearOracle([]float64{1, 1})
+	tr, err := Run(o, []int{100, 0}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tr.Steps[0].Imbalance, 1) {
+		t.Errorf("step 0 imbalance = %v, want +Inf (idle device)", tr.Steps[0].Imbalance)
+	}
+	next := tr.Steps[1].Units
+	if next[0] != 67 || next[1] != 33 {
+		t.Errorf("post-probe units = %v, want [67 33]", next)
+	}
+}
+
+func TestIdleDeviceOverridesThreshold(t *testing.T) {
+	// The infinite imbalance of an idle device must trigger redistribution
+	// no matter how lax the threshold is.
+	o := linearOracle([]float64{1, 1})
+	tr, err := Run(o, []int{100, 0}, 3, Options{Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rebalances == 0 {
+		t.Fatalf("idle device never triggered a rebalance: %+v", tr)
+	}
+	if final := tr.Steps[len(tr.Steps)-1].Units; final[1] == 0 {
+		t.Errorf("idle device still idle after %d rebalances: %v", tr.Rebalances, final)
+	}
+}
+
+func TestMigrationAccountingIdentities(t *testing.T) {
+	o := linearOracle([]float64{0.25, 1})
+	const cost = 0.5
+	tr, err := Run(o, []int{50, 50}, 6, Options{MigrationCost: cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalMoved == 0 {
+		t.Fatal("expected migrations from the unbalanced start")
+	}
+	var seconds float64
+	moved := 0
+	for i, st := range tr.Steps {
+		if want := float64(st.Moved) * cost; math.Abs(st.MigrationSeconds-want) > 1e-12 {
+			t.Errorf("step %d: migration seconds %v, want %v (%d moved)", i, st.MigrationSeconds, want, st.Moved)
+		}
+		seconds += st.Makespan + st.MigrationSeconds
+		moved += st.Moved
+	}
+	if math.Abs(tr.TotalSeconds-seconds) > 1e-9 {
+		t.Errorf("TotalSeconds = %v, Σ(makespan+migration) = %v", tr.TotalSeconds, seconds)
+	}
+	if moved != tr.TotalMoved {
+		t.Errorf("TotalMoved = %d, Σ Moved = %d", tr.TotalMoved, moved)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	o := linearOracle([]float64{1})
 	if _, err := Run(nil, []int{1}, 1, Options{}); err == nil {

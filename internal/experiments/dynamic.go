@@ -18,22 +18,16 @@ import (
 // static partitioning gets the distribution right from iteration one, while
 // the dynamic balancer pays for its early unbalanced iterations and for
 // data migration.
-func AblationDynamic(models *Models, n, iters int) (*Table, error) {
-	if n <= 0 {
-		n = 60
-	}
-	if iters <= 0 {
-		iters = n // the application runs n iterations at matrix size n
-	}
-	node := models.Node
-	devs := models.Devices()
+// DeviceOracle returns the platform's true iteration-time oracle at
+// Devices() granularity: sockets run their share over their active cores,
+// GPUs run a near-square rectangle of their share's area, both with the
+// contention coefficients applied — the same physics as app.Simulate. It is
+// the ground truth the dynamic balancer and the resilient runtime execute
+// against.
+func (m *Models) DeviceOracle() func(device, units int) float64 {
+	node := m.Node
 	gpuCount := len(node.GPUs)
-
-	// The true platform oracle at device granularity: sockets run their
-	// share over their active cores, GPUs run a near-square rectangle of
-	// their share's area, both with the contention coefficients applied —
-	// the same physics as app.Simulate.
-	oracle := func(d, u int) float64 {
+	return func(d, u int) float64 {
 		if u <= 0 {
 			return 0
 		}
@@ -43,7 +37,7 @@ func AblationDynamic(models *Models, n, iters int) (*Table, error) {
 				rows = 1
 			}
 			cols := (u + rows - 1) / rows
-			bd, err := gpukernel.Time(models.Version, gpukernel.Invocation{
+			bd, err := gpukernel.Time(m.Version, gpukernel.Invocation{
 				GPU: node.GPUs[d], BlockSize: node.BlockSize, ElemBytes: node.ElemBytes,
 				Rows: rows, Cols: cols,
 			})
@@ -65,10 +59,24 @@ func AblationDynamic(models *Models, n, iters int) (*Table, error) {
 		}
 		return sock.KernelTime(float64(u), active, node.BlockSize) / node.CPUContention
 	}
+}
 
-	// Migration moves one block of C (plus its A/B panels) over shared
-	// memory.
-	migration := 3 * node.BlockBytes() / 6e9
+// MigrationCostPerUnit prices moving one computation unit between devices:
+// one block of C (plus its A/B panels) over shared memory.
+func (m *Models) MigrationCostPerUnit() float64 {
+	return 3 * m.Node.BlockBytes() / 6e9
+}
+
+func AblationDynamic(models *Models, n, iters int) (*Table, error) {
+	if n <= 0 {
+		n = 60
+	}
+	if iters <= 0 {
+		iters = n // the application runs n iterations at matrix size n
+	}
+	devs := models.Devices()
+	oracle := models.DeviceOracle()
+	migration := models.MigrationCostPerUnit()
 
 	t := &Table{
 		ID:    "ablation-dynamic",

@@ -61,6 +61,12 @@ type ModelOptions struct {
 	// measurement waits on the device). Used by benchmarks to exercise the
 	// worker pools; zero for normal simulation.
 	RunLatency time.Duration
+	// FaultSpec overrides the fault plan of the recovery experiment
+	// (faults.ParseSpec syntax); empty selects the default crash scenario.
+	FaultSpec string
+	// FaultSeed resolves seed-drawn fault parameters (stall lengths,
+	// slowdown factors). Zero behaves like any other seed.
+	FaultSeed int64
 }
 
 func (o ModelOptions) withDefaults() (ModelOptions, error) {

@@ -65,6 +65,13 @@ var registry = map[string]Runner{
 	"cluster-scaling": func(node *hw.Node, opts ModelOptions) (*Table, error) {
 		return ClusterScaling(node, 80, opts)
 	},
+	"recovery": func(node *hw.Node, opts ModelOptions) (*Table, error) {
+		models, err := BuildModels(node, opts)
+		if err != nil {
+			return nil, err
+		}
+		return Recovery(models, 60, 0, opts.FaultSpec, opts.FaultSeed)
+	},
 }
 
 // Names lists the registered experiment IDs in sorted order.

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func unitOracle(d, u int) float64 { return float64(u) }
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "crash:dev=0,iter=30;stall:dev=1,iter=5,len=3;slow:dev=2,iter=20,factor=2.5"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Faults: []Fault{
+		{Kind: Crash, Device: 0, Iter: 30},
+		{Kind: Stall, Device: 1, Iter: 5, Len: 3},
+		{Kind: Slowdown, Device: 2, Iter: 20, Factor: 2.5},
+	}}
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+	back, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec.String(), err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Errorf("round trip %q changed the spec: %+v", spec.String(), back)
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	spec, err := ParseSpec("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Empty() {
+		t.Errorf("blank spec not empty: %+v", spec)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"boom:dev=0,iter=1",        // unknown kind
+		"crash:iter=1",             // missing dev
+		"crash:dev=0",              // missing iter
+		"crash:dev=0,iter=1,len=2", // len on non-stall
+		"crash:dev=0,iter=1,factor=2",
+		"slow:dev=0,iter=1,factor=0.5", // factor must be > 1
+		"stall:dev=0,iter=-1",
+		"crash:dev=x,iter=1",
+		"crash dev=0",
+		"slow:dev=0,iter=1,wat=3",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestEmptyInjectorIsTransparent(t *testing.T) {
+	in, err := NewInjector(Spec{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := in.Wrap(unitOracle)
+	for iter := 0; iter < 5; iter++ {
+		got, err := o(0, 7, iter)
+		if err != nil || got != 7 {
+			t.Fatalf("empty injector perturbed the oracle: %v, %v", got, err)
+		}
+	}
+	var nilInj *Injector
+	o = nilInj.Wrap(unitOracle)
+	if got, err := o(1, 3, 0); err != nil || got != 3 {
+		t.Fatalf("nil injector perturbed the oracle: %v, %v", got, err)
+	}
+}
+
+func TestCrashIsPermanent(t *testing.T) {
+	spec, _ := ParseSpec("crash:dev=1,iter=3")
+	in, err := NewInjector(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := in.Wrap(unitOracle)
+	for iter := 0; iter < 3; iter++ {
+		if _, err := o(1, 10, iter); err != nil {
+			t.Fatalf("device failed before the crash iteration: %v", err)
+		}
+	}
+	for iter := 3; iter < 6; iter++ {
+		_, err := o(1, 10, iter)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("iteration %d: got %v, want ErrCrashed", iter, err)
+		}
+	}
+	// Other devices are untouched.
+	if got, err := o(0, 10, 5); err != nil || got != 10 {
+		t.Errorf("healthy device perturbed: %v, %v", got, err)
+	}
+}
+
+func TestStallRecoversAfterLenCalls(t *testing.T) {
+	spec, _ := ParseSpec("stall:dev=0,iter=2,len=3")
+	in, err := NewInjector(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := in.Wrap(unitOracle)
+	if _, err := o(0, 5, 1); err != nil {
+		t.Fatalf("stalled before its window: %v", err)
+	}
+	// Three failing calls (e.g. the first attempt plus two retries of the
+	// same iteration), then recovery.
+	for call := 0; call < 3; call++ {
+		_, err := o(0, 5, 2)
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("call %d: got %v, want ErrStalled", call, err)
+		}
+	}
+	if got, err := o(0, 5, 2); err != nil || got != 5 {
+		t.Fatalf("device did not recover after the stall: %v, %v", got, err)
+	}
+	// Reset rewinds the stall for a fresh run.
+	in.Reset()
+	if _, err := o(0, 5, 2); !errors.Is(err, ErrStalled) {
+		t.Errorf("after Reset the stall should fire again, got %v", err)
+	}
+}
+
+func TestSlowdownMultipliesTime(t *testing.T) {
+	spec, _ := ParseSpec("slow:dev=0,iter=4,factor=3")
+	in, err := NewInjector(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := in.Wrap(unitOracle)
+	if got, _ := o(0, 10, 3); got != 10 {
+		t.Errorf("slowdown fired early: %v", got)
+	}
+	if got, _ := o(0, 10, 4); got != 30 {
+		t.Errorf("slowed time = %v, want 30", got)
+	}
+	if got, _ := o(0, 10, 100); got != 30 {
+		t.Errorf("slowdown must be sustained, got %v", got)
+	}
+}
+
+func TestSeedResolvesUnspecifiedParams(t *testing.T) {
+	spec, _ := ParseSpec("stall:dev=0,iter=1;slow:dev=1,iter=2")
+	a, err := NewInjector(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(spec, 7)
+	if !reflect.DeepEqual(a.Plan(), b.Plan()) {
+		t.Fatalf("same seed resolved different plans:\n%v\n%v", a.Plan(), b.Plan())
+	}
+	for _, f := range a.Plan() {
+		switch f.Kind {
+		case Stall:
+			if f.Len < 2 || f.Len > 5 {
+				t.Errorf("drawn stall length %d outside [2,5]", f.Len)
+			}
+		case Slowdown:
+			if f.Factor < 1.5 || f.Factor >= 4 {
+				t.Errorf("drawn slowdown factor %v outside [1.5,4)", f.Factor)
+			}
+		}
+	}
+	c, _ := NewInjector(spec, 8)
+	if reflect.DeepEqual(a.Plan(), c.Plan()) {
+		t.Errorf("different seeds resolved identical plans: %v", a.Plan())
+	}
+}
+
+func TestOverlappingSlowdownsCompound(t *testing.T) {
+	spec := Spec{Faults: []Fault{
+		{Kind: Slowdown, Device: 0, Iter: 0, Factor: 2},
+		{Kind: Slowdown, Device: 0, Iter: 5, Factor: 3},
+	}}
+	in, err := NewInjector(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := in.Wrap(unitOracle)
+	if got, _ := o(0, 1, 0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("first slowdown: %v, want 2", got)
+	}
+	if got, _ := o(0, 1, 6); math.Abs(got-6) > 1e-12 {
+		t.Errorf("compounded slowdown: %v, want 6", got)
+	}
+}

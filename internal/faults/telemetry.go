@@ -1,0 +1,25 @@
+package faults
+
+import "fpmpart/internal/telemetry"
+
+// Injection metrics: one counter per fault kind, recording every oracle call
+// the injector perturbed or failed. Free while telemetry is disabled.
+var (
+	crashesTotal = telemetry.Default().Counter("faults_injected_total", "kind", "crash")
+	stallsTotal  = telemetry.Default().Counter("faults_injected_total", "kind", "stall")
+	slowsTotal   = telemetry.Default().Counter("faults_injected_total", "kind", "slow")
+)
+
+func recordFault(kind string) {
+	if !telemetry.Default().Enabled() {
+		return
+	}
+	switch kind {
+	case "crash":
+		crashesTotal.Inc()
+	case "stall":
+		stallsTotal.Inc()
+	case "slow":
+		slowsTotal.Inc()
+	}
+}

@@ -104,8 +104,12 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	for i := range invs {
 		shares[i] = cache.sizeFor(i, T)
 	}
-	// The continuous shares sum to >= n (within tolerance); scale down any
-	// overshoot proportionally before integer rounding so the total is n.
+	// The continuous shares at T = hi sum to >= n, and with a loose
+	// Tolerance the overshoot can be substantial. No scaling happens here:
+	// the sum is only an emptiness check, and RoundShares normalizes the
+	// shares to total exactly n (proportional scaling + largest-remainder
+	// rounding), so overshoot affects the split only through the devices'
+	// relative shares at T.
 	var sum float64
 	for _, s := range shares {
 		sum += s
@@ -221,22 +225,37 @@ func FPMIterative(devices []Device, n int, maxIter int) (Result, error) {
 	return res, nil
 }
 
-// clampShares enforces per-device caps and rescales the uncapped remainder
-// so the total stays at n (when feasible).
+// clampShares enforces per-device caps and redistributes the clipped
+// overflow over the devices with headroom so the total stays at n (when
+// feasible): proportionally to their current shares, or evenly when every
+// free device sits at zero (proportional rescaling cannot move mass onto a
+// zero share, which used to leave the overflow unassigned and let the
+// integer top-up drift arbitrarily far from the scaled shares).
 func clampShares(shares, cs []float64, n float64) {
 	for iter := 0; iter < len(shares)+1; iter++ {
 		var over float64
 		var freeSum float64
+		free := 0
 		for i := range shares {
 			if shares[i] > cs[i] {
 				over += shares[i] - cs[i]
 				shares[i] = cs[i]
 			} else if shares[i] < cs[i] {
 				freeSum += shares[i]
+				free++
 			}
 		}
-		if over <= 0 || freeSum <= 0 {
+		if over <= 0 || free == 0 {
 			return
+		}
+		if freeSum <= 0 {
+			add := over / float64(free)
+			for i := range shares {
+				if shares[i] < cs[i] {
+					shares[i] += add
+				}
+			}
+			continue
 		}
 		scale := (freeSum + over) / freeSum
 		for i := range shares {

@@ -119,6 +119,28 @@ func TestFPMAdaptsToCliffCPMDoesNot(t *testing.T) {
 	}
 }
 
+func TestFPMLooseToleranceOvershootNormalized(t *testing.T) {
+	// With a very loose tolerance the bisection stops with total(T) well
+	// above n: speeds [3,1] and n=100 bracket at T≈33.55, where the
+	// continuous shares sum to ≈134. FPM does not rescale that overshoot
+	// itself — RoundShares normalizes during rounding — so the result must
+	// still be the exact proportional split totalling n.
+	devs := []Device{constDev("fast", 3, 0), constDev("slow", 1, 0)}
+	res, err := FPM(devs, 100, FPMOptions{Tolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("loose tolerance should converge almost immediately")
+	}
+	if res.Total != 100 {
+		t.Errorf("total = %d, want 100", res.Total)
+	}
+	if u := res.Units(); u[0] != 75 || u[1] != 25 {
+		t.Errorf("units = %v, want [75 25]", u)
+	}
+}
+
 func TestFPMRespectsMemoryCap(t *testing.T) {
 	devs := []Device{constDev("gpu", 1000, 200), constDev("cpu", 10, 0)}
 	r, err := FPM(devs, 1000, FPMOptions{})

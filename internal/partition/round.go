@@ -8,11 +8,17 @@ import (
 
 // RoundShares converts continuous shares into non-negative integers that sum
 // exactly to n, never exceed per-device caps, and stay within one unit of
-// the proportionally scaled shares (largest-remainder method).
+// the *cap-clamped* proportionally scaled shares (largest-remainder method):
+// the shares are first scaled to sum to n, then any excess above a device's
+// cap is redistributed over the devices with headroom, and only that clamped
+// continuous solution is rounded. When no caps bind, the clamped solution is
+// the plain proportional scaling, recovering the classic largest-remainder
+// guarantee; when caps do bind, the one-unit bound deliberately holds
+// against the clamped shares — a capped device's overflow has to land
+// somewhere, so the raw proportional shares are unreachable by any rounding.
 //
-// caps[i] may be +Inf for uncapped devices. The function first scales the
-// shares to sum to n, floors them, then hands the remaining units to the
-// devices with the largest fractional parts (skipping devices at their cap).
+// caps[i] may be +Inf for uncapped devices. Fractional caps are floored
+// first: units are integers, so a cap of 5.7 admits at most 5.
 func RoundShares(shares []float64, n int, caps []float64) ([]int, error) {
 	if len(shares) == 0 {
 		return nil, fmt.Errorf("partition: no shares to round")
@@ -46,10 +52,16 @@ func RoundShares(shares []float64, n int, caps []float64) ([]int, error) {
 			scaled[i] = s * float64(n) / sum
 		}
 	}
-	// Respect caps on the continuous solution first.
-	capsCopy := make([]float64, len(caps))
-	copy(capsCopy, caps)
-	clampShares(scaled, capsCopy, float64(n))
+	// Respect caps on the continuous solution first, working with the
+	// integer-effective (floored) caps: clampShares redistributes every
+	// capped device's overflow over the devices with headroom, so the
+	// clamped scaled shares still sum to n whenever the caps admit an
+	// integer solution at all.
+	eff := make([]float64, len(caps))
+	for i, c := range caps {
+		eff[i] = math.Floor(c) // +Inf stays +Inf
+	}
+	clampShares(scaled, eff, float64(n))
 
 	units := make([]int, len(scaled))
 	assigned := 0
@@ -60,8 +72,8 @@ func RoundShares(shares []float64, n int, caps []float64) ([]int, error) {
 	fracs := make([]frac, 0, len(scaled))
 	for i, s := range scaled {
 		fl := math.Floor(s + 1e-9) // tolerate FP dust just below an integer
-		if fl > caps[i] {
-			fl = math.Floor(caps[i])
+		if fl > eff[i] {
+			fl = eff[i]
 		}
 		units[i] = int(fl)
 		assigned += units[i]
@@ -88,13 +100,18 @@ func RoundShares(shares []float64, n int, caps []float64) ([]int, error) {
 		}
 		return fracs[a].i < fracs[b].i // deterministic tie-break
 	})
+	// Largest-remainder top-up. After a successful clamp a single pass
+	// suffices (a device blocked by its cap necessarily has a zero
+	// fractional part, so every remainder lands on a device with headroom,
+	// one unit each); the outer loop only spins again — and ultimately
+	// errors — when the caps admit no integer solution.
 	for remaining > 0 {
 		progress := false
 		for _, fr := range fracs {
 			if remaining == 0 {
 				break
 			}
-			if float64(units[fr.i]+1) <= caps[fr.i] {
+			if float64(units[fr.i]+1) <= eff[fr.i] {
 				units[fr.i]++
 				remaining--
 				progress = true

@@ -116,6 +116,100 @@ func TestRoundSharesProperty(t *testing.T) {
 	}
 }
 
+// Regression: when the only devices with headroom sit at a zero share,
+// proportional rescaling cannot absorb the cap overflow. The clamp used to
+// bail out early, leaving the overflow unassigned so the integer top-up
+// drifted arbitrarily far from any scaled share; now the overflow is split
+// evenly over the free devices and the one-unit bound holds against that.
+func TestRoundSharesBindingCapZeroFree(t *testing.T) {
+	u, err := RoundShares([]float64{1, 0}, 10, []float64{2, inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 2 || u[1] != 8 {
+		t.Errorf("units = %v, want [2 8]", u)
+	}
+
+	u, err = RoundShares([]float64{5, 3, 0}, 12, []float64{4, 2, inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 4 || u[1] != 2 || u[2] != 6 {
+		t.Errorf("units = %v, want [4 2 6]", u)
+	}
+}
+
+func TestRoundSharesFractionalCapFloored(t *testing.T) {
+	// Units are integers, so a cap of 2.9 admits at most 2; the clamp must
+	// redistribute against the floored cap or one unit would go missing.
+	u, err := RoundShares([]float64{1, 1}, 10, []float64{2.9, inf()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 2 || u[1] != 8 {
+		t.Errorf("units = %v, want [2 8]", u)
+	}
+}
+
+// Property: the documented contract — the result stays within one unit of
+// the cap-clamped proportionally scaled shares, including when caps bind
+// and when the devices with headroom have zero shares.
+func TestRoundSharesClampedBoundProperty(t *testing.T) {
+	f := func(nRaw uint16, raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		n := int(nRaw) % 500
+		shares := make([]float64, len(raw))
+		cs := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			shares[i] = float64(r % 7) // zeros included
+			if i%2 == 0 {
+				cs[i] = float64(r%5) + 0.5 // fractional, often binding
+			} else {
+				cs[i] = math.Inf(1) // keeps every instance feasible
+			}
+			sum += shares[i]
+		}
+		// Reference: the clamped continuous solution RoundShares rounds.
+		scaled := make([]float64, len(shares))
+		for i, s := range shares {
+			if sum == 0 {
+				scaled[i] = float64(n) / float64(len(shares))
+			} else {
+				scaled[i] = s * float64(n) / sum
+			}
+		}
+		eff := make([]float64, len(cs))
+		for i, c := range cs {
+			eff[i] = math.Floor(c)
+		}
+		clampShares(scaled, eff, float64(n))
+		u, err := RoundShares(shares, n, cs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, v := range u {
+			if v < 0 || float64(v) > cs[i] {
+				return false
+			}
+			if math.Abs(float64(v)-scaled[i]) > 1.0000001 {
+				return false
+			}
+			total += v
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: with caps, result never exceeds them and still sums to n when
 // feasible.
 func TestRoundSharesCapsProperty(t *testing.T) {
