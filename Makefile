@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck clean
+.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck clean
 
 all: build test
 
@@ -66,6 +66,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzRoundShares -fuzztime=15s ./internal/partition/
 	$(GO) test -fuzz=FuzzFPMPartition -fuzztime=15s ./internal/partition/
 	$(GO) test -fuzz=FuzzGemmDifferential -fuzztime=15s ./internal/blas/
+
+# End-to-end check of the partitioning daemon: boot on an ephemeral port,
+# upload a model over HTTP, partition, scrape /metrics, drain cleanly.
+fpmd-smoke:
+	$(GO) run ./cmd/fpmd -smoke
+
+# Serving acceptance check (load, shed, SIGTERM drain). Heavier than the
+# smoke test (~30s); not part of `check`.
+fpmd-selfcheck:
+	$(GO) run ./cmd/fpmd -selfcheck
 
 experiments:
 	$(GO) run ./cmd/experiments

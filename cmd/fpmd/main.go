@@ -1,0 +1,392 @@
+// Command fpmd serves FPM-based data partitioning as a daemon: a model
+// registry (upload/fetch functional performance models in JSON or
+// fupermod-style text), a partition endpoint that turns registered models
+// plus a problem size into integer device shares (optionally with a
+// column-based 2D block layout), and a predict endpoint for point queries
+// against one model. Solutions are cached and admission-controlled; SIGTERM
+// drains in-flight requests before exit.
+//
+// Usage:
+//
+//	fpmd -addr :8080 -models /var/lib/fpmd     serve (SIGTERM drains gracefully)
+//	fpmd -smoke                                boot on :0, upload a model,
+//	                                           partition, scrape /metrics, drain
+//	fpmd -selfcheck                            serving acceptance check: load,
+//	                                           shed and SIGTERM-drain phases
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"fpmpart/internal/service"
+	"fpmpart/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelDir   = flag.String("models", "", "persist uploaded models to this directory (and pre-load existing ones)")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent cold solves (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 1024, "cold solves allowed to wait for a slot before shedding with 429")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated into the solver")
+		cacheSize  = flag.Int("cache-size", 4096, "solution cache entries")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		smoke      = flag.Bool("smoke", false, "run the end-to-end smoke check and exit")
+		selfcheck  = flag.Bool("selfcheck", false, "run the serving acceptance check and exit")
+		clients    = flag.Int("selfcheck-clients", 128, "concurrent clients in the selfcheck load phases")
+		inflight   = flag.Int("selfcheck-inflight", 1000, "concurrent requests held across the selfcheck SIGTERM drain")
+	)
+	flag.Parse()
+	telemetry.Default().SetEnabled(true)
+
+	cfg := service.Config{
+		ModelDir:       *modelDir,
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheSize,
+	}
+	var err error
+	switch {
+	case *smoke:
+		err = runSmoke()
+	case *selfcheck:
+		err = runSelfcheck(*clients, *inflight)
+	default:
+		err = serve(cfg, *addr, *drainTO)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpmd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains: the health
+// endpoint flips to 503 so load balancers stop routing, the listener closes,
+// and every accepted request finishes (bounded by drainTO) before exit.
+func serve(cfg service.Config, addr string, drainTO time.Duration) error {
+	s, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	bound, drain, err := s.Serve(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fpmd: serving http://%s (%d models loaded)\n", bound, s.Models.Len())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintf(os.Stderr, "fpmd: signal received, draining (up to %v)\n", drainTO)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	if err := drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "fpmd: drained cleanly")
+	return nil
+}
+
+// runSmoke is the CI end-to-end check: boot on an ephemeral port, upload a
+// model over HTTP (text format), read it back, partition, scrape /metrics,
+// and shut down gracefully. It exercises the full request path in about a
+// second.
+func runSmoke() error {
+	dir, err := os.MkdirTemp("", "fpmd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	s, err := service.New(service.Config{ModelDir: dir})
+	if err != nil {
+		return err
+	}
+	bound, drain, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	base := "http://" + bound
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Upload in the fupermod-style text format the bench tools write.
+	model := "# smoke model\n1000 250\n2000 400\n4000 380\n8000 220\n"
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/models/smoke", strings.NewReader(model))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if err := expectOK(client.Do(req)); err != nil {
+		return fmt.Errorf("upload model: %w", err)
+	}
+	if err := expectOK(client.Get(base + "/v1/models/smoke")); err != nil {
+		return fmt.Errorf("fetch model: %w", err)
+	}
+
+	body, _ := json.Marshal(map[string]any{"models": []string{"smoke"}, "n": 5000})
+	resp, err := client.Post(base+"/v1/partition", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	var pr struct {
+		Total   int `json:"total"`
+		Devices []struct {
+			Units int `json:"units"`
+		} `json:"devices"`
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("partition: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return fmt.Errorf("partition response: %w", err)
+	}
+	if pr.Total != 5000 || len(pr.Devices) != 1 || pr.Devices[0].Units != 5000 {
+		return fmt.Errorf("partition response off: %s", data)
+	}
+
+	scrape, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	mdata, _ := io.ReadAll(scrape.Body)
+	scrape.Body.Close()
+	if scrape.StatusCode != http.StatusOK || !bytes.Contains(mdata, []byte("fpmd_requests_total")) {
+		return fmt.Errorf("scrape missing fpmd metrics (status %d)", scrape.StatusCode)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "smoke.json")); err != nil {
+		return fmt.Errorf("model not persisted: %w", err)
+	}
+	fmt.Printf("fpmd smoke: OK (addr=%s, partitioned n=5000, metrics scraped, drained)\n", bound)
+	return nil
+}
+
+// runSelfcheck validates the serving acceptance criteria end to end:
+//
+//  1. load: cold solves vs warm cache hits over real HTTP — warm p99 must be
+//     at least 10x better than cold p99;
+//  2. shed: a width-1 server under a concurrent burst must reject the
+//     overflow with 429 + Retry-After while still completing admitted work;
+//  3. drain: `inflight` concurrent partition requests held across a real
+//     SIGTERM (delivered to this process) must all complete — zero drops.
+func runSelfcheck(clients, inflight int) error {
+	if clients <= 0 || inflight <= 0 {
+		return fmt.Errorf("selfcheck needs positive clients/inflight")
+	}
+	queue := 4 * inflight // the drain phase must never shed
+	s, err := service.New(service.Config{
+		QueueDepth:     queue,
+		RequestTimeout: 2 * time.Minute,
+		CacheSize:      4 * inflight,
+	})
+	if err != nil {
+		return err
+	}
+	// A heterogeneous fleet of dense synthetic models: cold solves pay a
+	// realistic envelope-inversion cost across all devices per request.
+	ids := make([]string, 48)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev%02d", i)
+		if _, err := s.Models.Put(ids[i], service.SyntheticModel(1024+16*i, 200+25*float64(i%16))); err != nil {
+			return err
+		}
+	}
+	bound, drain, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	base := "http://" + bound
+	fmt.Printf("selfcheck: server on %s, %d models, gate queue %d\n", bound, len(ids), queue)
+
+	failed := false
+
+	// Phase 1: cold vs warm latency and cache hit rate.
+	rep, err := service.RunLoad(base, service.LoadOptions{
+		Clients:      clients,
+		ColdKeys:     inflight,
+		WarmRequests: 4 * clients,
+		Models:       ids,
+	})
+	if err != nil {
+		return fmt.Errorf("load phase: %w", err)
+	}
+	fmt.Printf("selfcheck: load\n%s\n", indent(rep.String()))
+	if rep.Errors != 0 {
+		failed = true
+		fmt.Printf("selfcheck: FAIL load: %d request errors\n", rep.Errors)
+	}
+	if rep.WarmP99 <= 0 || rep.ColdP99 < 10*rep.WarmP99 {
+		failed = true
+		fmt.Printf("selfcheck: FAIL load: warm p99 %v not >=10x better than cold p99 %v\n", rep.WarmP99, rep.ColdP99)
+	}
+	if rep.CacheHitRate < 0.95 {
+		failed = true
+		fmt.Printf("selfcheck: FAIL load: cache hit rate %.2f < 0.95\n", rep.CacheHitRate)
+	}
+
+	// Phase 2: shedding on a deliberately tiny server.
+	shed, completed, err := runShedPhase()
+	if err != nil {
+		return fmt.Errorf("shed phase: %w", err)
+	}
+	fmt.Printf("selfcheck: shed  burst on width-1 server: %d x 429 (Retry-After set), %d x 200\n", shed, completed)
+	if shed == 0 {
+		failed = true
+		fmt.Println("selfcheck: FAIL shed: no request was rejected with 429")
+	}
+	if completed == 0 {
+		failed = true
+		fmt.Println("selfcheck: FAIL shed: no admitted request completed")
+	}
+
+	// Phase 3: a real SIGTERM lands while `inflight` requests are in flight.
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stopSig()
+	drainErr := make(chan error, 1)
+	go func() {
+		<-sigCtx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		drainErr <- drain(dctx)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	seen := s.PartitionSeen()
+	drep, err := service.RunDrain(ctx, base, ids, inflight, 10_000_000,
+		func() bool { return s.PartitionSeen()-seen >= int64(inflight) },
+		func() {
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				panic(err)
+			}
+		})
+	if err != nil {
+		return fmt.Errorf("drain phase: %w", err)
+	}
+	if err := <-drainErr; err != nil {
+		return fmt.Errorf("drain phase shutdown: %w", err)
+	}
+	fmt.Printf("selfcheck: drain %d in-flight across SIGTERM: completed=%d rejected=%d dropped=%d\n",
+		drep.Fired, drep.Completed, drep.Rejected, drep.Dropped)
+	if drep.Dropped != 0 || drep.Completed != drep.Fired {
+		failed = true
+		fmt.Println("selfcheck: FAIL drain: in-flight requests were lost or rejected across the drain")
+	}
+
+	if failed {
+		return fmt.Errorf("selfcheck FAILED")
+	}
+	fmt.Println("selfcheck: PASS")
+	return nil
+}
+
+// runShedPhase boots a width-1, depth-1 server, fires a concurrent burst of
+// distinct cold solves at it, and counts clean 429 rejections (each must
+// carry Retry-After) vs completions. The solves partition over a large dense
+// fleet so each one runs long enough for the rest of the burst to pile up at
+// the admission gate (on a single-CPU box a sub-millisecond solve finishes
+// within one scheduler timeslice and the queue never fills).
+func runShedPhase() (shed, completed int, err error) {
+	s, err := service.New(service.Config{
+		MaxConcurrent:  1,
+		QueueDepth:     1,
+		RequestTimeout: time.Minute,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	shedIDs := make([]string, 256)
+	for i := range shedIDs {
+		shedIDs[i] = fmt.Sprintf("shed%03d", i)
+		if _, err := s.Models.Put(shedIDs[i], service.SyntheticModel(4096, 200+float64(i))); err != nil {
+			return 0, 0, err
+		}
+	}
+	bound, drain, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if derr := drain(dctx); err == nil && derr != nil {
+			err = derr
+		}
+	}()
+
+	const burst = 64
+	client := &http.Client{Timeout: time.Minute, Transport: &http.Transport{
+		MaxIdleConns: burst, MaxIdleConnsPerHost: burst,
+	}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"models": shedIDs, "n": 500000 + i})
+			resp, rerr := client.Post("http://"+bound+"/v1/partition", "application/json", bytes.NewReader(body))
+			mu.Lock()
+			defer mu.Unlock()
+			if rerr != nil {
+				if firstErr == nil {
+					firstErr = rerr
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				completed++
+			case resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") != "":
+				shed++
+			default:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("unexpected response %d", resp.StatusCode)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return shed, completed, firstErr
+}
+
+func expectOK(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

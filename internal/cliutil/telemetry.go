@@ -4,9 +4,11 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fpmpart/internal/telemetry"
 )
@@ -58,7 +60,7 @@ func (t *TelemetryFlags) Start() (stop func(), err error) {
 		reg.SetEventLog(telemetry.NewEventLog(logFile))
 	}
 
-	var shutdown func() error
+	var shutdown func(context.Context) error
 	if t.MetricsAddr != "" {
 		var addr string
 		addr, shutdown, err = reg.Serve(t.MetricsAddr)
@@ -74,7 +76,11 @@ func (t *TelemetryFlags) Start() (stop func(), err error) {
 	return func() {
 		reg.Event("metrics.snapshot", "metrics", reg.Snapshot())
 		if shutdown != nil {
-			_ = shutdown()
+			// Graceful: let an in-flight scrape finish, but never hang a
+			// tool's exit for more than a few seconds.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = shutdown(ctx)
+			cancel()
 		}
 		if logFile != nil {
 			reg.SetEventLog(nil)

@@ -17,6 +17,13 @@ import (
 // the most work it can finish by T.
 
 // TimeInverter answers "largest x with time(x) <= T" queries for one model.
+//
+// A TimeInverter is immutable after NewTimeInverter and therefore safe for
+// concurrent use from multiple goroutines — fpmd shares one inverter per
+// registered model across all request handlers. SizeFor must keep reading
+// searchHint into a local rather than adaptively rewriting it (a tempting
+// warm-start optimisation that would be a data race under concurrent
+// solves); TestTimeInverterConcurrentSizeFor pins this with -race.
 type TimeInverter struct {
 	s SpeedFunction
 	// cap limits the assignable size (e.g. GPU memory limit). +Inf if none.

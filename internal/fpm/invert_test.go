@@ -1,7 +1,9 @@
 package fpm
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -56,6 +58,43 @@ func TestInverterNonMonotoneTime(t *testing.T) {
 	// With T=1.0 every measured size is reachable; answer >= 40.
 	if got := inv.SizeFor(1.0); got < 40-1e-6 {
 		t.Errorf("SizeFor(1.0) = %v, want >= 40", got)
+	}
+}
+
+// TestTimeInverterConcurrentSizeFor hammers one shared inverter from 16
+// goroutines under -race. TimeInverter's documented contract is immutability
+// after construction (fpmd shares one inverter per model across request
+// handlers); an adaptive searchHint rewrite inside SizeFor would fail here.
+func TestTimeInverterConcurrentSizeFor(t *testing.T) {
+	m := MustPiecewiseLinear([]Point{
+		{Size: 5, Speed: 50}, {Size: 50, Speed: 120}, {Size: 100, Speed: 90}, {Size: 200, Speed: 60},
+	})
+	inv := NewTimeInverter(m, 0)
+	want := inv.SizeFor(1.7)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				T := 0.01 + float64((g*500+i)%997)*0.005
+				x := inv.SizeFor(T)
+				if math.IsNaN(x) || x < 0 {
+					errs <- fmt.Sprintf("SizeFor(%v) = %v", T, x)
+					return
+				}
+				if got := inv.SizeFor(1.7); got != want {
+					errs <- fmt.Sprintf("SizeFor(1.7) = %v under concurrency, want %v", got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }
 

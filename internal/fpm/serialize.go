@@ -58,9 +58,17 @@ func (m *PiecewiseLinear) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxTextLine bounds one line of a model file. The bufio.Scanner default of
+// 64KiB rejected legitimate files with long comment lines or wide
+// whitespace-padded tables ("token too long"), which became a remote-facing
+// failure once fpmd accepted text uploads; 16MiB is far beyond any sane
+// model line while still bounding a hostile unterminated payload.
+const maxTextLine = 16 << 20
+
 // ReadText parses the two-column text format written by WriteText.
 func ReadText(r io.Reader) (*PiecewiseLinear, error) {
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxTextLine)
 	var pts []Point
 	line := 0
 	for sc.Scan() {

@@ -1,0 +1,35 @@
+package fpm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadTextLongLine pins the scanner-limit fix: model files (and text
+// payloads uploaded to fpmd's /v1/models endpoint) may contain lines far
+// beyond bufio.Scanner's 64KiB default — a long comment, or a data line with
+// huge whitespace padding — and must still parse.
+func TestReadTextLongLine(t *testing.T) {
+	pad := strings.Repeat(" ", 80<<10)                    // 80KiB of padding inside one line
+	input := "# " + strings.Repeat("x", 100<<10) + "\n" + // >64KiB comment
+		"100" + pad + "2.5\n" +
+		"200 3.5\n"
+	m, err := ReadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadText with >64KiB lines: %v", err)
+	}
+	pts := m.Points()
+	if len(pts) != 2 || pts[0].Size != 100 || pts[0].Speed != 2.5 || pts[1].Size != 200 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+// TestReadTextRejectsUnboundedLine checks that the raised limit is still a
+// limit: a hostile line longer than maxTextLine errors instead of consuming
+// unbounded memory.
+func TestReadTextRejectsUnboundedLine(t *testing.T) {
+	input := "# " + strings.Repeat("y", maxTextLine+1)
+	if _, err := ReadText(strings.NewReader(input)); err == nil {
+		t.Fatal("ReadText accepted a line beyond maxTextLine")
+	}
+}

@@ -1,0 +1,117 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateWidthAndDepth(t *testing.T) {
+	g := NewGate(3, 5)
+	if g.Width() != 3 || g.Depth() != 5 {
+		t.Fatalf("Width/Depth = %d/%d, want 3/5", g.Width(), g.Depth())
+	}
+	if g := NewGate(2, -1); g.Depth() != 0 {
+		t.Fatalf("negative depth not clamped: %d", g.Depth())
+	}
+	if g := NewGate(0, 0); g.Width() < 1 {
+		t.Fatalf("zero width not resolved: %d", g.Width())
+	}
+}
+
+func TestGateShedsWhenSaturated(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	waiterIn := make(chan error, 1)
+	go func() { waiterIn <- g.Acquire(ctx) }()
+	// Wait for the waiter to occupy the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Occupancy() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Now the gate is saturated: the next acquire is shed immediately.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Acquire on full gate = %v, want ErrSaturated", err)
+	}
+	g.Release()
+	if err := <-waiterIn; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.Release()
+	if g.Occupancy() != 0 {
+		t.Fatalf("occupancy after release = %d, want 0", g.Occupancy())
+	}
+}
+
+func TestGateAcquireHonoursContext(t *testing.T) {
+	g := NewGate(1, 4)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	// The abandoned waiter must have released its queue slot.
+	if g.Occupancy() != 1 {
+		t.Fatalf("occupancy after abandoned wait = %d, want 1", g.Occupancy())
+	}
+	g.Release()
+}
+
+// TestGateConcurrencyBound hammers the gate from many goroutines and checks
+// the concurrency invariant: never more than width holders at once, and
+// admitted+shed = attempted.
+func TestGateConcurrencyBound(t *testing.T) {
+	const width, depth, attempts = 4, 8, 200
+	g := NewGate(width, depth)
+	var running, peak, admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := g.Acquire(context.Background())
+			if errors.Is(err, ErrSaturated) {
+				shed.Add(1)
+				return
+			}
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			admitted.Add(1)
+			now := running.Add(1)
+			for {
+				p := peak.Load()
+				if now <= p || peak.CompareAndSwap(p, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > width {
+		t.Fatalf("observed %d concurrent holders, want <= %d", p, width)
+	}
+	if got := admitted.Load() + shed.Load(); got != attempts {
+		t.Fatalf("admitted+shed = %d, want %d", got, attempts)
+	}
+	if g.Occupancy() != 0 {
+		t.Fatalf("occupancy after drain = %d, want 0", g.Occupancy())
+	}
+}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -39,6 +40,14 @@ func (o FPMOptions) withDefaults() FPMOptions {
 // Reddy 2007: a line through the origin with slope n/T intersects the speed
 // functions at the balanced distribution.
 func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
+	return FPMContext(context.Background(), devices, n, opts)
+}
+
+// FPMContext is FPM with cooperative cancellation: the bisection checks ctx
+// between iterations and returns ctx.Err() (wrapped) once the context is
+// cancelled or its deadline passes. fpmd uses this to propagate per-request
+// deadlines into the solver so abandoned requests stop consuming CPU.
+func FPMContext(ctx context.Context, devices []Device, n int, opts FPMOptions) (Result, error) {
 	if err := validate(devices, n); err != nil {
 		return Result{}, err
 	}
@@ -65,6 +74,9 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	// device can hold n. More robustly: grow hi until total(hi) >= n.
 	hi := 1e-6
 	for total(hi) < float64(n) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("partition: FPM solve abandoned: %w", err)
+		}
 		hi *= 2
 		if hi > 1e18 {
 			return Result{}, fmt.Errorf("partition: FPM bisection failed to bracket n=%d (capacity too small?)", n)
@@ -76,6 +88,9 @@ func FPM(devices []Device, n int, opts FPMOptions) (Result, error) {
 	converged := false
 	reg := telemetry.Default()
 	for i := 0; i < opts.MaxIterations; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("partition: FPM solve abandoned: %w", err)
+		}
 		iterations = i + 1
 		mid := (lo + hi) / 2
 		if total(mid) < target {

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fpmpart/internal/fpm"
+)
+
+// The load generator drives a running fpmd over real HTTP and reports the
+// serving numbers the ROADMAP cares about: cold-solve vs warm-cache latency
+// percentiles, cache hit rate, shed behaviour under saturation, and whether
+// a SIGTERM drain loses in-flight requests. cmd/fpmd -selfcheck wraps it;
+// the service load test runs it at a smaller scale in CI.
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// Clients is the number of concurrent clients per phase. Default 64.
+	Clients int
+	// ColdKeys is how many distinct problem sizes the cold phase solves
+	// (each is a distinct cache key). Default Clients.
+	ColdKeys int
+	// WarmRequests is the total number of warm-phase requests, spread over
+	// the Clients and reusing the cold keys. Default 4*Clients.
+	WarmRequests int
+	// Models are the registered model ids to partition over.
+	Models []string
+	// BaseN is the smallest problem size; cold key i solves BaseN+i.
+	BaseN int
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 64
+	}
+	if o.ColdKeys <= 0 {
+		o.ColdKeys = o.Clients
+	}
+	if o.WarmRequests <= 0 {
+		o.WarmRequests = 4 * o.Clients
+	}
+	if o.BaseN <= 0 {
+		o.BaseN = 100000
+	}
+	return o
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	ColdRequests int
+	WarmRequests int
+	Errors       int
+
+	ColdP50, ColdP99 time.Duration
+	WarmP50, WarmP99 time.Duration
+
+	// CacheHitRate is hits/(hits+misses) observed across the warm phase
+	// (from the per-response cached flag).
+	CacheHitRate float64
+}
+
+// String renders the report the way the selfcheck prints it.
+func (r LoadReport) String() string {
+	speedup := math.NaN()
+	if r.WarmP99 > 0 {
+		speedup = float64(r.ColdP99) / float64(r.WarmP99)
+	}
+	return fmt.Sprintf(
+		"cold: %d reqs p50=%v p99=%v\nwarm: %d reqs p50=%v p99=%v (p99 speedup %.1fx)\ncache hit rate: %.1f%%\nerrors: %d",
+		r.ColdRequests, r.ColdP50, r.ColdP99,
+		r.WarmRequests, r.WarmP50, r.WarmP99, speedup,
+		r.CacheHitRate*100, r.Errors)
+}
+
+// postPartition sends one partition request and reports its latency and
+// whether the response came from the cache.
+func postPartition(client *http.Client, baseURL string, models []string, n int) (lat time.Duration, cached bool, err error) {
+	body, err := json.Marshal(map[string]any{"models": models, "n": n})
+	if err != nil {
+		return 0, false, err
+	}
+	start := time.Now()
+	resp, err := client.Post(baseURL+"/v1/partition", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	lat = time.Since(start)
+	if err != nil {
+		return lat, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return lat, false, &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	var pr struct {
+		Cached    bool `json:"cached"`
+		Coalesced bool `json:"coalesced"`
+	}
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return lat, false, err
+	}
+	return lat, pr.Cached || pr.Coalesced, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// sweep fires fn(i) for i in [0, total) from `clients` concurrent
+// goroutines and collects latencies; errors are counted, not fatal.
+func sweep(clients, total int, fn func(i int) (time.Duration, bool, error)) (lats []time.Duration, cachedCount, errs int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < total; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lat, cached, err := fn(i)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					lats = append(lats, lat)
+					if cached {
+						cachedCount++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return lats, cachedCount, errs
+}
+
+// RunLoad executes the cold and warm phases against baseURL and returns the
+// report. Models must already be registered.
+func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
+	opts = opts.withDefaults()
+	if len(opts.Models) == 0 {
+		return LoadReport{}, fmt.Errorf("service: load run needs model ids")
+	}
+	client := &http.Client{Timeout: 60 * time.Second, Transport: &http.Transport{
+		MaxIdleConns:        opts.Clients,
+		MaxIdleConnsPerHost: opts.Clients,
+	}}
+
+	var rep LoadReport
+
+	// Cold phase: every request is a distinct cache key.
+	coldLats, _, coldErrs := sweep(opts.Clients, opts.ColdKeys, func(i int) (time.Duration, bool, error) {
+		return postPartition(client, baseURL, opts.Models, opts.BaseN+i)
+	})
+	rep.ColdRequests = opts.ColdKeys
+	rep.Errors += coldErrs
+	rep.ColdP50 = percentile(coldLats, 0.50)
+	rep.ColdP99 = percentile(coldLats, 0.99)
+
+	// Warm phase: reuse the cold keys; everything should hit the cache.
+	warmLats, cached, warmErrs := sweep(opts.Clients, opts.WarmRequests, func(i int) (time.Duration, bool, error) {
+		return postPartition(client, baseURL, opts.Models, opts.BaseN+i%opts.ColdKeys)
+	})
+	rep.WarmRequests = opts.WarmRequests
+	rep.Errors += warmErrs
+	rep.WarmP50 = percentile(warmLats, 0.50)
+	rep.WarmP99 = percentile(warmLats, 0.99)
+	if len(warmLats) > 0 {
+		rep.CacheHitRate = float64(cached) / float64(len(warmLats))
+	}
+	return rep, nil
+}
+
+// DrainReport is the outcome of a drain run: Fired requests were in flight
+// when shutdown started; every one must complete with a valid HTTP response.
+type DrainReport struct {
+	Fired     int
+	Completed int
+	Dropped   int // transport-level failures (reset, refused, EOF)
+	Rejected  int // non-200 HTTP responses (shed etc.) — still not dropped
+}
+
+// RunDrain fires `inflight` concurrent partition requests at baseURL, calls
+// startDrain once `admitted` reports that all of them have reached the
+// server (polled for up to five seconds; pass nil to fall back to a short
+// grace period), and waits for every response. A request that gets any HTTP
+// response (200 or a clean shed) counts as completed-or-rejected; only
+// transport failures count as dropped. A request that never reached the
+// server is not "in flight", so the admitted barrier is what makes the
+// zero-drop assertion meaningful rather than racy.
+func RunDrain(ctx context.Context, baseURL string, models []string, inflight int, n int, admitted func() bool, startDrain func()) (DrainReport, error) {
+	client := &http.Client{Timeout: 120 * time.Second, Transport: &http.Transport{
+		MaxIdleConns:        inflight,
+		MaxIdleConnsPerHost: inflight,
+	}}
+	rep := DrainReport{Fired: inflight}
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			// Distinct n per request: all of them are cold solves that must
+			// run (not coalesce), keeping the server busy across the drain.
+			_, _, err := postPartition(client, baseURL, models, n+i)
+			results <- err
+		}(i)
+	}
+	if admitted == nil {
+		time.Sleep(100 * time.Millisecond)
+	} else {
+		deadline := time.Now().Add(5 * time.Second)
+		for !admitted() && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	startDrain()
+
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-results:
+			var se *statusError
+			switch {
+			case err == nil:
+				rep.Completed++
+			case errors.As(err, &se):
+				rep.Rejected++
+			default:
+				rep.Dropped++
+			}
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		}
+	}
+	return rep, nil
+}
+
+// statusError is "the server answered with a non-200" — a clean HTTP
+// response (possibly a shed), as opposed to a transport-level failure.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
+
+// SyntheticModel builds a dense piecewise-linear FPM with the paper's
+// characteristic shape — speed rising to a plateau, then degrading past the
+// in-core limit — with `knots` observation points. The selfcheck and load
+// tests use it so cold solves pay a realistic envelope-inversion cost.
+func SyntheticModel(knots int, peak float64) *fpm.PiecewiseLinear {
+	if knots < 2 {
+		knots = 2
+	}
+	pts := make([]fpm.Point, knots)
+	for i := range pts {
+		x := 16 * float64(i+1)
+		f := float64(i) / float64(knots-1)
+		var speed float64
+		switch {
+		case f < 0.3: // warm-up ramp
+			speed = peak * (0.4 + 2*f)
+		case f < 0.75: // plateau
+			speed = peak
+		default: // out-of-core degradation
+			speed = peak * (1 - 0.6*(f-0.75)/0.25)
+		}
+		pts[i] = fpm.Point{Size: x, Speed: speed}
+	}
+	return fpm.MustPiecewiseLinear(pts)
+}

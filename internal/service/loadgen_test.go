@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLoadRun exercises the load generator end to end at CI scale: distinct
+// cold solves, then warm repeats that must hit the cache.
+func TestLoadRun(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"gpu0", "gpu1", "cpu0"} {
+		if _, err := s.Models.Put(id, SyntheticModel(256, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, shutdown, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+
+	rep, err := RunLoad("http://"+addr, LoadOptions{
+		Clients:      16,
+		ColdKeys:     24,
+		WarmRequests: 200,
+		Models:       []string{"gpu0", "gpu1", "cpu0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run errors: %d\n%s", rep.Errors, rep)
+	}
+	if rep.CacheHitRate < 0.95 {
+		t.Fatalf("warm cache hit rate %.2f < 0.95\n%s", rep.CacheHitRate, rep)
+	}
+	if rep.ColdP99 <= 0 || rep.WarmP99 <= 0 {
+		t.Fatalf("degenerate percentiles:\n%s", rep)
+	}
+	if s.CacheLen() < 24 {
+		t.Fatalf("cache has %d entries, want >= 24", s.CacheLen())
+	}
+	t.Logf("\n%s", rep)
+}
+
+// TestDrainKeepsInFlightRequests is the serving-side version of the
+// telemetry shutdown regression test: requests in flight when the drain
+// starts must all complete with valid HTTP responses — zero transport-level
+// drops.
+func TestDrainKeepsInFlightRequests(t *testing.T) {
+	s, err := New(Config{QueueDepth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Models.Put("gpu0", SyntheticModel(512, 700)); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 128
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunDrain(ctx, "http://"+addr, []string{"gpu0"}, inflight, 50000,
+		func() bool { return s.PartitionSeen() >= inflight },
+		func() {
+			go func() {
+				dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer dcancel()
+				shutdownDone <- shutdown(dctx)
+			}()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped %d of %d in-flight requests across drain (%+v)", rep.Dropped, rep.Fired, rep)
+	}
+	if rep.Completed+rep.Rejected != rep.Fired {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("no request completed: %+v", rep)
+	}
+}

@@ -1,0 +1,237 @@
+// Package service turns the in-process FPM partitioner into
+// partitioning-as-a-service: a registry of serialized functional performance
+// models plus an HTTP JSON API (cmd/fpmd) that answers partition and
+// prediction queries against them. The paper computes one partition offline
+// for one dedicated node; fupermod (arXiv:1109.3074) already treats
+// performance models as persisted artifacts exchanged between tools, and
+// this package takes the next step — models become named server-side
+// resources, and the partition computation becomes a cached, admission-
+// controlled request path.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"fpmpart/internal/fpm"
+)
+
+// ErrNotFound is returned when a model id is not registered.
+var ErrNotFound = errors.New("service: model not found")
+
+// idPattern keeps ids usable as file names under the persistence directory:
+// no separators, no "..", no empty string.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Model is one registered performance model plus its registry metadata.
+type Model struct {
+	// ID is the registry key (e.g. "gtx680", "socket1x6").
+	ID string
+	// PL is the piecewise-linear model itself. Immutable once registered.
+	PL *fpm.PiecewiseLinear
+	// Gen is the registry generation at which this model was stored. It
+	// changes on every Put, so cache keys that embed it are invalidated
+	// when a model is replaced.
+	Gen uint64
+	// Inv is a shared time inverter over PL (no cap); handlers use it for
+	// /v1/predict deadline queries. TimeInverter is immutable and safe to
+	// share across requests.
+	Inv *fpm.TimeInverter
+}
+
+// Registry is the concurrency-safe model store. When Dir is set, models are
+// persisted as <id>.json files (the fpm JSON wire form) and reloaded by
+// Load, so a restarted daemon serves the same registry.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+	gen    uint64
+	dir    string
+}
+
+// NewRegistry returns an empty registry persisting to dir ("" disables
+// persistence).
+func NewRegistry(dir string) *Registry {
+	return &Registry{models: map[string]*Model{}, dir: dir}
+}
+
+// ValidID reports whether id is acceptable as a model id.
+func ValidID(id string) bool { return idPattern.MatchString(id) }
+
+// Put registers (or replaces) a model under id and persists it when a
+// directory is configured.
+func (r *Registry) Put(id string, pl *fpm.PiecewiseLinear) (*Model, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("service: invalid model id %q", id)
+	}
+	if pl == nil {
+		return nil, errors.New("service: nil model")
+	}
+	r.mu.Lock()
+	r.gen++
+	m := &Model{ID: id, PL: pl, Gen: r.gen, Inv: fpm.NewTimeInverter(pl, 0)}
+	r.models[id] = m
+	dir := r.dir
+	r.mu.Unlock()
+	if dir != "" {
+		if err := persist(dir, id, pl); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Get returns the model registered under id, or ErrNotFound.
+func (r *Registry) Get(id string) (*Model, error) {
+	r.mu.RLock()
+	m, ok := r.models[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return m, nil
+}
+
+// Delete removes id from the registry (and its persisted file, if any).
+// Deleting an unknown id returns ErrNotFound.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	_, ok := r.models[id]
+	delete(r.models, id)
+	dir := r.dir
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if dir != "" {
+		if err := os.Remove(filepath.Join(dir, id+".json")); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// List returns the registered ids in sorted order.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.models))
+	for id := range r.models {
+		out = append(out, id)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Resolve maps ids to models, failing on the first unknown id.
+func (r *Registry) Resolve(ids []string) ([]*Model, error) {
+	out := make([]*Model, len(ids))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, id := range ids {
+		m, ok := r.models[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Load populates the registry from the persistence directory: every
+// *.json file (fpm JSON wire form) and *.fpm file (fupermod-style text, as
+// written by fpmbench -out) becomes a model named after the file. Returns
+// the number of models loaded.
+func (r *Registry) Load() (int, error) {
+	if r.dir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ext := filepath.Ext(name)
+		id := strings.TrimSuffix(name, ext)
+		if !ValidID(id) {
+			continue
+		}
+		var pl *fpm.PiecewiseLinear
+		switch ext {
+		case ".json":
+			data, err := os.ReadFile(filepath.Join(r.dir, name))
+			if err != nil {
+				return loaded, err
+			}
+			pl = new(fpm.PiecewiseLinear)
+			if err := pl.UnmarshalJSON(data); err != nil {
+				return loaded, fmt.Errorf("service: load %s: %w", name, err)
+			}
+		case ".fpm":
+			f, err := os.Open(filepath.Join(r.dir, name))
+			if err != nil {
+				return loaded, err
+			}
+			pl, err = fpm.ReadText(f)
+			f.Close()
+			if err != nil {
+				return loaded, fmt.Errorf("service: load %s: %w", name, err)
+			}
+		default:
+			continue
+		}
+		r.mu.Lock()
+		r.gen++
+		r.models[id] = &Model{ID: id, PL: pl, Gen: r.gen, Inv: fpm.NewTimeInverter(pl, 0)}
+		r.mu.Unlock()
+		loaded++
+	}
+	return loaded, nil
+}
+
+// persist writes the model atomically (temp file + rename) so a crashed
+// daemon never leaves a truncated model behind.
+func persist(dir, id string, pl *fpm.PiecewiseLinear) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := pl.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, id+".json"))
+}

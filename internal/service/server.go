@@ -1,0 +1,621 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/layout"
+	"fpmpart/internal/par"
+	"fpmpart/internal/partition"
+	"fpmpart/internal/telemetry"
+)
+
+// Config tunes the service.
+type Config struct {
+	// ModelDir persists uploaded models and pre-loads existing ones.
+	// Empty disables persistence.
+	ModelDir string
+	// MaxConcurrent bounds concurrent cold solves (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds solves waiting for a slot; beyond it requests are
+	// shed with 429 + Retry-After. Default 1024.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline propagated into the
+	// solver. Default 10s.
+	RequestTimeout time.Duration
+	// CacheSize bounds the solution LRU. Default 4096.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// Server is the partitioning service: model registry + solution cache +
+// admission-controlled solver, exposed as an HTTP JSON API.
+type Server struct {
+	cfg      Config
+	Models   *Registry
+	cache    *solutionCache
+	flights  flightGroup
+	gate     *par.Gate
+	draining atomic.Bool
+	// partitionSeen counts partition requests admitted by the handler
+	// (monotonic, independent of the telemetry registry). The drain test
+	// uses it to know when every fired request is truly in flight
+	// server-side before starting the shutdown.
+	partitionSeen atomic.Int64
+}
+
+// New builds a Server from cfg (and loads persisted models when ModelDir is
+// set).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		Models: NewRegistry(cfg.ModelDir),
+		cache:  newSolutionCache(cfg.CacheSize),
+		gate:   par.NewGate(cfg.MaxConcurrent, cfg.QueueDepth),
+	}
+	if _, err := s.Models.Load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetDraining flips the health endpoint to 503 so load balancers stop
+// routing new traffic while in-flight requests finish.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// CacheLen returns the number of cached solutions (for tests and selfcheck).
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// PartitionSeen returns the number of partition requests that have reached
+// the handler since the server started.
+func (s *Server) PartitionSeen() int64 { return s.partitionSeen.Load() }
+
+// Handler returns the service's HTTP API:
+//
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /v1/models        list model ids
+//	PUT    /v1/models/{id}   upload a model (JSON or fupermod-style text)
+//	GET    /v1/models/{id}   fetch a model (Accept: text/plain for text)
+//	DELETE /v1/models/{id}   remove a model
+//	POST   /v1/partition     FPM partition over registered models
+//	POST   /v1/predict       time/speed/deadline lookups against one model
+//	GET    /metrics[.json]   telemetry registry exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/models", s.instrument("models.list", s.handleListModels))
+	mux.HandleFunc("PUT /v1/models/{id}", s.instrument("models.put", s.handlePutModel))
+	mux.HandleFunc("GET /v1/models/{id}", s.instrument("models.get", s.handleGetModel))
+	mux.HandleFunc("DELETE /v1/models/{id}", s.instrument("models.delete", s.handleDeleteModel))
+	mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
+	mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	th := telemetry.Default().Handler()
+	mux.Handle("GET /metrics", th)
+	mux.Handle("GET /metrics.json", th)
+	mux.Handle("GET /trace.json", th)
+	return mux
+}
+
+// statusWriter captures the response code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter, latency histogram,
+// in-flight gauge and the per-request deadline.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		start := time.Now()
+		inflightGauge.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		inflightGauge.Add(-1)
+		requestsTotal(route, sw.status).Inc()
+		requestSeconds(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status, state := http.StatusOK, "ok"
+	if s.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status": state,
+		"models": s.Models.Len(),
+	})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.Models.List()})
+}
+
+// maxModelBody bounds one model upload; far beyond any real FPM while
+// keeping a hostile client from ballooning the heap.
+const maxModelBody = 32 << 20
+
+func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !ValidID(id) {
+		writeError(w, http.StatusBadRequest, "invalid model id %q", id)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxModelBody)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	var pl *fpm.PiecewiseLinear
+	var err error
+	switch {
+	case strings.HasPrefix(ct, "text/"):
+		pl, err = fpm.ReadText(body)
+	default: // application/json and unspecified
+		var data []byte
+		data, err = io.ReadAll(body)
+		if err == nil {
+			pl = new(fpm.PiecewiseLinear)
+			err = pl.UnmarshalJSON(data)
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse model: %v", err)
+		return
+	}
+	m, err := s.Models.Put(id, pl)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store model: %v", err)
+		return
+	}
+	dmin, dmax := pl.Domain()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "points": len(pl.Points()), "generation": m.Gen,
+		"domain": []float64{dmin, dmax},
+	})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	m, err := s.Models.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = m.PL.WriteText(w)
+		return
+	}
+	data, err := m.PL.MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Models.Delete(id); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// partitionRequest is the body of POST /v1/partition. Either N (computation
+// units) or Matrix (blocks per side; n = Matrix²) must be set; Layout
+// requires Matrix since rectangles tile a Matrix×Matrix block grid.
+type partitionRequest struct {
+	Models        []string  `json:"models"`
+	N             int       `json:"n,omitempty"`
+	Matrix        int       `json:"matrix,omitempty"`
+	Caps          []float64 `json:"caps,omitempty"`
+	Tolerance     float64   `json:"tolerance,omitempty"`
+	MaxIterations int       `json:"max_iterations,omitempty"`
+	Layout        bool      `json:"layout,omitempty"`
+}
+
+type deviceShare struct {
+	Model            string  `json:"model"`
+	Units            int     `json:"units"`
+	PredictedSeconds float64 `json:"predicted_seconds"`
+}
+
+type layoutRect struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+type layoutResponse struct {
+	N          int          `json:"n"`
+	Rects      []layoutRect `json:"rects"`
+	Columns    [][]int      `json:"columns"`
+	CommVolume float64      `json:"comm_volume"`
+}
+
+type partitionResponse struct {
+	Total        int             `json:"total"`
+	Devices      []deviceShare   `json:"devices"`
+	Iterations   int             `json:"iterations"`
+	Converged    bool            `json:"converged"`
+	Imbalance    *float64        `json:"imbalance,omitempty"`
+	SolveSeconds float64         `json:"solve_seconds"`
+	Cached       bool            `json:"cached"`
+	Coalesced    bool            `json:"coalesced,omitempty"`
+	Layout       *layoutResponse `json:"layout,omitempty"`
+}
+
+const maxPartitionModels = 256
+
+func (r *partitionRequest) validate() error {
+	if len(r.Models) == 0 {
+		return errors.New("models must be non-empty")
+	}
+	if len(r.Models) > maxPartitionModels {
+		return fmt.Errorf("too many models (%d > %d)", len(r.Models), maxPartitionModels)
+	}
+	if (r.N > 0) == (r.Matrix > 0) {
+		return errors.New("exactly one of n or matrix must be positive")
+	}
+	if r.Layout && r.Matrix <= 0 {
+		return errors.New("layout requires matrix")
+	}
+	if len(r.Caps) != 0 && len(r.Caps) != len(r.Models) {
+		return fmt.Errorf("caps length %d != models length %d", len(r.Caps), len(r.Models))
+	}
+	for i, c := range r.Caps {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("invalid cap %v at index %d", c, i)
+		}
+	}
+	if r.Tolerance < 0 || math.IsNaN(r.Tolerance) {
+		return fmt.Errorf("invalid tolerance %v", r.Tolerance)
+	}
+	if r.MaxIterations < 0 {
+		return fmt.Errorf("invalid max_iterations %d", r.MaxIterations)
+	}
+	return nil
+}
+
+func (r *partitionRequest) units() int {
+	if r.Matrix > 0 {
+		return r.Matrix * r.Matrix
+	}
+	return r.N
+}
+
+// cacheKey identifies one solve: model ids pinned to their registry
+// generations, the problem size and every option that changes the answer.
+func (s *Server) cacheKey(req *partitionRequest, models []*Model) string {
+	var b strings.Builder
+	for i, m := range models {
+		fmt.Fprintf(&b, "%s:%d", m.ID, m.Gen)
+		if len(req.Caps) > 0 {
+			fmt.Fprintf(&b, "@%g", req.Caps[i])
+		}
+		b.WriteByte('|')
+	}
+	fmt.Fprintf(&b, "n=%d;m=%d;tol=%g;it=%d;lay=%t",
+		req.N, req.Matrix, req.Tolerance, req.MaxIterations, req.Layout)
+	return b.String()
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	s.partitionSeen.Add(1)
+	var req partitionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	models, err := s.Models.Resolve(req.Models)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	key := s.cacheKey(&req, models)
+	if resp, ok := s.cache.get(key); ok {
+		cacheHits.Inc()
+		warmSeconds.Observe(0)
+		out := *resp
+		out.Cached = true
+		writeJSON(w, http.StatusOK, &out)
+		return
+	}
+	cacheMisses.Inc()
+
+	ctx := r.Context()
+	resp, err, shared := s.flights.doCtx(ctx, key, func() (*partitionResponse, error) {
+		if err := s.gate.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.Release()
+		start := time.Now()
+		out, err := s.solve(ctx, &req, models)
+		if err != nil {
+			return nil, err
+		}
+		out.SolveSeconds = time.Since(start).Seconds()
+		coldSeconds.Observe(out.SolveSeconds)
+		s.cache.put(key, out)
+		return out, nil
+	})
+	if shared {
+		cacheCoalesced.Inc()
+		// The leader's solve can fail with the *leader's* context error; if
+		// our own context is still live, solve uncoalesced rather than
+		// failing a healthy request.
+		if err != nil && isContextErr(err) && ctx.Err() == nil {
+			resp, err = func() (*partitionResponse, error) {
+				if err := s.gate.Acquire(ctx); err != nil {
+					return nil, err
+				}
+				defer s.gate.Release()
+				return s.solve(ctx, &req, models)
+			}()
+		}
+	}
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	out := *resp
+	out.Coalesced = shared
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeSolveError maps solver-path failures to HTTP: saturation → 429 with
+// Retry-After, per-request deadline → 503, anything else → 422 (the solver
+// rejected the problem, e.g. caps below n).
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, par.ErrSaturated):
+		shedTotal.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "solver saturated, retry later")
+	case isContextErr(err):
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded: %v", err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+// solve runs the FPM partition (and optional layout) for req.
+func (s *Server) solve(ctx context.Context, req *partitionRequest, models []*Model) (*partitionResponse, error) {
+	devices := make([]partition.Device, len(models))
+	for i, m := range models {
+		var maxUnits float64
+		if len(req.Caps) > 0 {
+			maxUnits = req.Caps[i]
+		}
+		devices[i] = partition.Device{Name: m.ID, Model: m.PL, MaxUnits: maxUnits}
+	}
+	res, err := partition.FPMContext(ctx, devices, req.units(), partition.FPMOptions{
+		Tolerance:     req.Tolerance,
+		MaxIterations: req.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &partitionResponse{
+		Total:      res.Total,
+		Devices:    make([]deviceShare, len(res.Assignments)),
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+	for i, a := range res.Assignments {
+		out.Devices[i] = deviceShare{
+			Model:            a.Device.Name,
+			Units:            a.Units,
+			PredictedSeconds: a.PredictedTime,
+		}
+	}
+	if im := res.Imbalance(); !math.IsNaN(im) && !math.IsInf(im, 0) {
+		out.Imbalance = &im
+	}
+	if req.Layout {
+		lay, err := buildLayout(res, req.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		out.Layout = lay
+	}
+	return out, nil
+}
+
+// buildLayout converts the unit shares into a column-based block layout of
+// the Matrix×Matrix grid. Devices assigned zero units are excluded from the
+// arrangement (their rectangle is reported as empty).
+func buildLayout(res partition.Result, matrix int) (*layoutResponse, error) {
+	var areas []float64
+	var owners []int
+	for i, a := range res.Assignments {
+		if a.Units > 0 {
+			areas = append(areas, float64(a.Units))
+			owners = append(owners, i)
+		}
+	}
+	if len(areas) == 0 {
+		return nil, errors.New("layout: no device received work")
+	}
+	cont, err := layout.Continuous(areas)
+	if err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	bl, err := cont.Discretize(matrix)
+	if err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	out := &layoutResponse{
+		N:          matrix,
+		Rects:      make([]layoutRect, len(res.Assignments)),
+		CommVolume: bl.CommVolume(),
+	}
+	for j, r := range bl.Rects {
+		out.Rects[owners[j]] = layoutRect{X: int(r.X), Y: int(r.Y), W: int(r.W), H: int(r.H)}
+	}
+	for _, col := range bl.Columns {
+		mapped := make([]int, len(col))
+		for k, j := range col {
+			mapped[k] = owners[j]
+		}
+		out.Columns = append(out.Columns, mapped)
+	}
+	return out, nil
+}
+
+// predictRequest is the body of POST /v1/predict: point lookups against one
+// registered model. Sizes yield speeds and times; Deadlines yield the
+// largest size completable within each deadline (the partitioner's inverse
+// query).
+type predictRequest struct {
+	Model     string    `json:"model"`
+	Sizes     []float64 `json:"sizes,omitempty"`
+	Deadlines []float64 `json:"deadlines,omitempty"`
+}
+
+type predictResponse struct {
+	Model      string    `json:"model"`
+	Domain     []float64 `json:"domain"`
+	Speeds     []float64 `json:"speeds,omitempty"`
+	Times      []float64 `json:"times,omitempty"`
+	SizesFor   []float64 `json:"sizes_for,omitempty"`
+	Generation uint64    `json:"generation"`
+}
+
+const maxPredictPoints = 10000
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Sizes)+len(req.Deadlines) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one of sizes or deadlines required")
+		return
+	}
+	if len(req.Sizes)+len(req.Deadlines) > maxPredictPoints {
+		writeError(w, http.StatusBadRequest, "too many query points (> %d)", maxPredictPoints)
+		return
+	}
+	m, err := s.Models.Get(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	dmin, dmax := m.PL.Domain()
+	out := predictResponse{Model: m.ID, Domain: []float64{dmin, dmax}, Generation: m.Gen}
+	if len(req.Sizes) > 0 {
+		out.Speeds = make([]float64, len(req.Sizes))
+		out.Times = make([]float64, len(req.Sizes))
+		for i, x := range req.Sizes {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				writeError(w, http.StatusBadRequest, "invalid size %v", x)
+				return
+			}
+			out.Speeds[i] = m.PL.Speed(x)
+			out.Times[i] = fpm.Time(m.PL, x)
+		}
+	}
+	if len(req.Deadlines) > 0 {
+		out.SizesFor = make([]float64, len(req.Deadlines))
+		for i, T := range req.Deadlines {
+			if math.IsNaN(T) || T < 0 {
+				writeError(w, http.StatusBadRequest, "invalid deadline %v", T)
+				return
+			}
+			out.SizesFor[i] = m.Inv.SizeFor(T)
+		}
+	}
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// Serve binds the hardened HTTP server on addr and returns the bound address
+// and a graceful shutdown (telemetry.ServeHTTP semantics: in-flight requests
+// complete, bounded by the shutdown context).
+func (s *Server) Serve(addr string) (string, func(context.Context) error, error) {
+	bound, shutdown, err := telemetry.ServeHTTP(addr, s.Handler())
+	if err != nil {
+		return "", nil, err
+	}
+	drain := func(ctx context.Context) error {
+		s.SetDraining(true)
+		return shutdown(ctx)
+	}
+	return bound, drain, nil
+}
+
+// Ordered list of routes, used by docs and the smoke test.
+func Routes() []string {
+	rs := []string{
+		"GET /healthz",
+		"GET /v1/models",
+		"PUT /v1/models/{id}",
+		"GET /v1/models/{id}",
+		"DELETE /v1/models/{id}",
+		"POST /v1/partition",
+		"POST /v1/predict",
+		"GET /metrics",
+	}
+	sort.Strings(rs)
+	return rs
+}

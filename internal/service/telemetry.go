@@ -1,0 +1,33 @@
+package service
+
+import (
+	"strconv"
+
+	"fpmpart/internal/telemetry"
+)
+
+// Service metrics. Request counters are labelled by route and status class;
+// the latency histograms separate the cached fast path from cold solves so
+// the selfcheck's warm/cold p99 split is visible in /metrics too. All free
+// while the registry is disabled.
+var (
+	inflightGauge  = telemetry.Default().Gauge("fpmd_inflight_requests")
+	cacheHits      = telemetry.Default().Counter("fpmd_cache_hits_total")
+	cacheMisses    = telemetry.Default().Counter("fpmd_cache_misses_total")
+	cacheCoalesced = telemetry.Default().Counter("fpmd_cache_coalesced_total")
+	shedTotal      = telemetry.Default().Counter("fpmd_shed_total")
+	coldSeconds    = telemetry.Default().Histogram("fpmd_partition_cold_seconds", nil)
+	warmSeconds    = telemetry.Default().Histogram("fpmd_partition_warm_seconds", nil)
+)
+
+// requestsTotal returns the counter for one route/status pair. The registry
+// deduplicates identities, so calling this per request is cheap enough for
+// a control-plane API (and free when telemetry is disabled).
+func requestsTotal(route string, status int) *telemetry.Counter {
+	return telemetry.Default().Counter("fpmd_requests_total",
+		"route", route, "code", strconv.Itoa(status))
+}
+
+func requestSeconds(route string) *telemetry.Histogram {
+	return telemetry.Default().Histogram("fpmd_request_seconds", nil, "route", route)
+}

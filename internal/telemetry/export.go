@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // formatValue renders a float the way Prometheus expects.
@@ -102,15 +104,41 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-// Serve starts an HTTP server for the registry on addr in a background
-// goroutine and returns the bound address (useful with ":0") and a shutdown
-// function. The caller owns the shutdown.
-func (r *Registry) Serve(addr string) (string, func() error, error) {
+// NewHTTPServer returns an http.Server for h with the header, read and idle
+// timeouts every endpoint in this repo should run with: without them a
+// client that opens a connection and trickles bytes (Slowloris) pins a
+// goroutine and a file descriptor forever. The write timeout is left unset
+// so a slow scrape of a large exposition is not cut off mid-body; shutdown
+// is bounded by the caller's Shutdown context instead.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ServeHTTP starts a hardened HTTP server for handler on addr in a
+// background goroutine and returns the bound address (useful with ":0") and
+// a context-aware shutdown function. The shutdown stops accepting new
+// connections and waits — up to the context deadline — for in-flight
+// requests to complete (http.Server.Shutdown semantics), rather than
+// aborting them the way Close does.
+func ServeHTTP(addr string, handler http.Handler) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := NewHTTPServer(handler)
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	return ln.Addr().String(), srv.Shutdown, nil
+}
+
+// Serve starts an HTTP server for the registry on addr in a background
+// goroutine and returns the bound address (useful with ":0") and a
+// context-aware graceful-shutdown function. The caller owns the shutdown;
+// in-flight scrapes complete before it returns.
+func (r *Registry) Serve(addr string) (string, func(context.Context) error, error) {
+	return ServeHTTP(addr, r.Handler())
 }

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeShutdownIsGraceful pins the server-lifecycle contract: a request
+// that is already being handled when shutdown starts completes with its full
+// response. The old implementation returned srv.Close, which tore the
+// connection down mid-handler.
+func TestServeShutdownIsGraceful(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	addr, shutdown, err := ServeHTTP("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		_, _ = io.WriteString(w, "completed")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	// Start shutdown while the request is in flight, then release the
+	// handler: the response must still arrive intact.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // let Shutdown close the listener
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if r.body != "completed" {
+		t.Fatalf("in-flight response body = %q, want %q", r.body, "completed")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// After shutdown the listener is closed: new requests must fail.
+	if _, err := http.Get("http://" + addr + "/"); err == nil {
+		t.Fatal("request after shutdown unexpectedly succeeded")
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the hardened constructor's anti-Slowloris
+// settings.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	srv := NewHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -240,7 +241,7 @@ func TestHTTPEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer shutdown()
+	defer shutdown(context.Background())
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
