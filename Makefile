@@ -30,8 +30,10 @@ staticcheck:
 # Key benchmarks captured in the committed baseline. The sequential/parallel
 # pairs demonstrate the worker-pool speedup for model building and experiment
 # sweeps; the partition benchmarks track solver cost; the Gemm benchmarks
-# track the packed kernel against the seed blocked loop.
-BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel|Gemm
+# track the packed kernel against the seed blocked loop; the ServeTraced /
+# ServeUntraced pair tracks the request-tracing overhead on the warm serving
+# path (budget: <5%).
+BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel|Gemm|ServeTraced|ServeUntraced
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
 # Optional suffix for the baseline filename (e.g. BENCH_TAG=-gemm writes
 # BENCH_2026-08-05-gemm.json), so a re-run on the same day can sit alongside

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"fpmpart/internal/cliutil"
 	"fpmpart/internal/service"
 	"fpmpart/internal/telemetry"
 )
@@ -44,29 +46,43 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated into the solver")
 		cacheSize  = flag.Int("cache-size", 4096, "solution cache entries")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		recorder   = flag.Int("flight-recorder", 256, "request traces retained for GET /debug/requests (0 disables request tracing)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes process internals)")
+		runtimeInt = flag.Duration("runtime-metrics", 10*time.Second, "Go runtime metrics sampling interval (0 disables)")
 		smoke      = flag.Bool("smoke", false, "run the end-to-end smoke check and exit")
 		selfcheck  = flag.Bool("selfcheck", false, "run the serving acceptance check and exit")
 		clients    = flag.Int("selfcheck-clients", 128, "concurrent clients in the selfcheck load phases")
 		inflight   = flag.Int("selfcheck-inflight", 1000, "concurrent requests held across the selfcheck SIGTERM drain")
 	)
+	var logFlags cliutil.LogFlags
+	logFlags.Register()
 	flag.Parse()
 	telemetry.Default().SetEnabled(true)
 
-	cfg := service.Config{
-		ModelDir:       *modelDir,
-		MaxConcurrent:  *maxConc,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		CacheSize:      *cacheSize,
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpmd:", err)
+		os.Exit(1)
 	}
-	var err error
+
+	cfg := service.Config{
+		ModelDir:              *modelDir,
+		MaxConcurrent:         *maxConc,
+		QueueDepth:            *queueDepth,
+		RequestTimeout:        *reqTimeout,
+		CacheSize:             *cacheSize,
+		DisableRequestTracing: *recorder == 0,
+		FlightRecorderSize:    *recorder,
+		EnablePprof:           *pprofOn,
+		Logger:                logger,
+	}
 	switch {
 	case *smoke:
 		err = runSmoke()
 	case *selfcheck:
 		err = runSelfcheck(*clients, *inflight)
 	default:
-		err = serve(cfg, *addr, *drainTO)
+		err = serve(cfg, *addr, *drainTO, logger, *runtimeInt)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpmd:", err)
@@ -77,36 +93,65 @@ func main() {
 // serve runs the daemon until SIGINT/SIGTERM, then drains: the health
 // endpoint flips to 503 so load balancers stop routing, the listener closes,
 // and every accepted request finishes (bounded by drainTO) before exit.
-func serve(cfg service.Config, addr string, drainTO time.Duration) error {
+func serve(cfg service.Config, addr string, drainTO time.Duration, logger *slog.Logger, runtimeInt time.Duration) error {
 	s, err := service.New(cfg)
 	if err != nil {
 		return err
+	}
+	if runtimeInt > 0 {
+		stop := telemetry.Default().StartRuntimeCollector(runtimeInt)
+		defer stop()
 	}
 	bound, drain, err := s.Serve(addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fpmd: serving http://%s (%d models loaded)\n", bound, s.Models.Len())
+	logger.Info("serving",
+		slog.String("addr", bound),
+		slog.Int("models", s.Models.Len()),
+		slog.Bool("pprof", cfg.EnablePprof),
+		slog.Bool("tracing", !cfg.DisableRequestTracing))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop()
 
-	fmt.Fprintf(os.Stderr, "fpmd: signal received, draining (up to %v)\n", drainTO)
+	logger.Info("draining", slog.Duration("timeout", drainTO))
 	dctx, cancel := context.WithTimeout(context.Background(), drainTO)
 	defer cancel()
 	if err := drain(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "fpmd: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }
 
+// syncBuffer is a mutex-guarded bytes.Buffer: the smoke check's log sink,
+// written by request goroutines and read by the assertion.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // runSmoke is the CI end-to-end check: boot on an ephemeral port, upload a
-// model over HTTP (text format), read it back, partition, scrape /metrics,
-// and shut down gracefully. It exercises the full request path in about a
-// second.
+// model over HTTP (text format), read it back, partition with a
+// caller-supplied request ID, verify the request's trace in the flight
+// recorder (span tree and JSON log correlation), grab a CPU profile from
+// pprof, scrape /metrics, and shut down gracefully. It exercises the full
+// request and observability path in a few seconds.
 func runSmoke() error {
 	dir, err := os.MkdirTemp("", "fpmd-smoke-*")
 	if err != nil {
@@ -114,16 +159,24 @@ func runSmoke() error {
 	}
 	defer os.RemoveAll(dir)
 
-	s, err := service.New(service.Config{ModelDir: dir})
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s, err := service.New(service.Config{
+		ModelDir:    dir,
+		EnablePprof: true,
+		Logger:      logger,
+	})
 	if err != nil {
 		return err
 	}
+	stopRuntime := telemetry.Default().StartRuntimeCollector(time.Second)
+	defer stopRuntime()
 	bound, drain, err := s.Serve("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	base := "http://" + bound
-	client := &http.Client{Timeout: 10 * time.Second}
+	client := &http.Client{Timeout: 30 * time.Second}
 
 	// Upload in the fupermod-style text format the bench tools write.
 	model := "# smoke model\n1000 250\n2000 400\n4000 380\n8000 220\n"
@@ -139,8 +192,15 @@ func runSmoke() error {
 		return fmt.Errorf("fetch model: %w", err)
 	}
 
+	const smokeReqID = "smoke-req-1"
 	body, _ := json.Marshal(map[string]any{"models": []string{"smoke"}, "n": 5000})
-	resp, err := client.Post(base+"/v1/partition", "application/json", bytes.NewReader(body))
+	preq, err := http.NewRequest(http.MethodPost, base+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set("X-Request-Id", smokeReqID)
+	resp, err := client.Do(preq)
 	if err != nil {
 		return fmt.Errorf("partition: %w", err)
 	}
@@ -161,6 +221,19 @@ func runSmoke() error {
 	if pr.Total != 5000 || len(pr.Devices) != 1 || pr.Devices[0].Units != 5000 {
 		return fmt.Errorf("partition response off: %s", data)
 	}
+	if got := resp.Header.Get("X-Request-Id"); got != smokeReqID {
+		return fmt.Errorf("X-Request-Id echoed as %q, want %q", got, smokeReqID)
+	}
+
+	if err := checkFlightRecorder(client, base, smokeReqID); err != nil {
+		return err
+	}
+	if !strings.Contains(logBuf.String(), `"request_id":"`+smokeReqID+`"`) {
+		return fmt.Errorf("structured log missing request_id %q:\n%s", smokeReqID, logBuf.String())
+	}
+	if err := checkPprofProfile(client, base); err != nil {
+		return err
+	}
 
 	scrape, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -171,6 +244,9 @@ func runSmoke() error {
 	if scrape.StatusCode != http.StatusOK || !bytes.Contains(mdata, []byte("fpmd_requests_total")) {
 		return fmt.Errorf("scrape missing fpmd metrics (status %d)", scrape.StatusCode)
 	}
+	if !bytes.Contains(mdata, []byte("go_goroutines")) {
+		return fmt.Errorf("scrape missing runtime metrics (go_goroutines)")
+	}
 
 	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -180,7 +256,94 @@ func runSmoke() error {
 	if _, err := os.Stat(filepath.Join(dir, "smoke.json")); err != nil {
 		return fmt.Errorf("model not persisted: %w", err)
 	}
-	fmt.Printf("fpmd smoke: OK (addr=%s, partitioned n=5000, metrics scraped, drained)\n", bound)
+	fmt.Printf("fpmd smoke: OK (addr=%s, partitioned n=5000, trace %s recorded+logged, pprof profiled, metrics scraped, drained)\n",
+		bound, smokeReqID)
+	return nil
+}
+
+// checkFlightRecorder asserts the request id shows up in the
+// /debug/requests list and that its drill-down span tree contains the
+// serving stages the trace middleware promises.
+func checkFlightRecorder(client *http.Client, base, id string) error {
+	resp, err := client.Get(base + "/debug/requests")
+	if err != nil {
+		return fmt.Errorf("flight recorder list: %w", err)
+	}
+	ldata, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("flight recorder list: status %d", resp.StatusCode)
+	}
+	var list struct {
+		Recent []struct {
+			ID string `json:"id"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(ldata, &list); err != nil {
+		return fmt.Errorf("flight recorder list: %w", err)
+	}
+	found := false
+	for _, e := range list.Recent {
+		if e.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("request %s not in /debug/requests recent list: %s", id, ldata)
+	}
+
+	resp, err = client.Get(base + "/debug/requests?id=" + id)
+	if err != nil {
+		return fmt.Errorf("flight recorder drill-down: %w", err)
+	}
+	tdata, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("flight recorder drill-down: status %d: %s", resp.StatusCode, tdata)
+	}
+	type span struct {
+		Name     string `json:"name"`
+		Children []span `json:"children"`
+	}
+	var snap struct {
+		ID    string `json:"id"`
+		Spans []span `json:"spans"`
+	}
+	if err := json.Unmarshal(tdata, &snap); err != nil {
+		return fmt.Errorf("flight recorder drill-down: %w", err)
+	}
+	names := map[string]bool{}
+	var walk func([]span)
+	walk = func(ss []span) {
+		for _, s := range ss {
+			names[s.Name] = true
+			walk(s.Children)
+		}
+	}
+	walk(snap.Spans)
+	for _, want := range []string{"gate.wait", "cache", "solve", "serialize"} {
+		if !names[want] {
+			return fmt.Errorf("trace %s missing %q span: %s", id, want, tdata)
+		}
+	}
+	return nil
+}
+
+// checkPprofProfile grabs a 1-second CPU profile and verifies it is a gzip
+// stream (the pprof wire format).
+func checkPprofProfile(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		return fmt.Errorf("pprof profile: %w", err)
+	}
+	pdata, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pprof profile: status %d: %s", resp.StatusCode, pdata)
+	}
+	if len(pdata) < 2 || pdata[0] != 0x1f || pdata[1] != 0x8b {
+		return fmt.Errorf("pprof profile is not gzip (%d bytes)", len(pdata))
+	}
 	return nil
 }
 
@@ -245,6 +408,21 @@ func runSelfcheck(clients, inflight int) error {
 	if rep.CacheHitRate < 0.95 {
 		failed = true
 		fmt.Printf("selfcheck: FAIL load: cache hit rate %.2f < 0.95\n", rep.CacheHitRate)
+	}
+	// The client-side split above can be flattered by measurement artifacts
+	// (local scheduling, response-read time); re-assert it from the server's
+	// own route histograms, which time the cold solve and the warm cache-hit
+	// request independently of the client.
+	coldP99, coldN := service.ServerLatencyQuantile(false, 0.99)
+	warmP99, warmN := service.ServerLatencyQuantile(true, 0.99)
+	fmt.Printf("selfcheck: load  server-side: cold p99 %.3gs (n=%d) warm p99 %.3gs (n=%d)\n",
+		coldP99, coldN, warmP99, warmN)
+	if coldN == 0 || warmN == 0 {
+		failed = true
+		fmt.Println("selfcheck: FAIL load: server-side latency histograms are empty")
+	} else if warmP99 <= 0 || coldP99 < 10*warmP99 {
+		failed = true
+		fmt.Printf("selfcheck: FAIL load: server-side warm p99 %.3gs not >=10x better than cold p99 %.3gs\n", warmP99, coldP99)
 	}
 
 	// Phase 2: shedding on a deliberately tiny server.

@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags is the shared structured-logging flag set (-log-format,
+// -log-level) of the cmd/ tools. Logs go through log/slog so every line
+// carries machine-readable attributes (request IDs in particular), in text
+// for humans or JSON for collectors.
+type LogFlags struct {
+	// Format is "text" or "json".
+	Format string
+	// Level is "debug", "info", "warn" or "error".
+	Level string
+}
+
+// Register installs -log-format and -log-level on the default flag set.
+func (l *LogFlags) Register() {
+	flag.StringVar(&l.Format, "log-format", "text", "structured log format: text or json")
+	flag.StringVar(&l.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+}
+
+// parseLevel maps the flag value to a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("invalid log level %q (want debug, info, warn or error)", s)
+}
+
+// Logger builds the slog.Logger described by the flags, writing to w.
+func (l *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := parseLevel(l.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(l.Format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("invalid log format %q (want text or json)", l.Format)
+}

@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLogFlagsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lf := LogFlags{Format: "json", Level: "debug"}
+	logger, err := lf.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("request", slog.String("request_id", "abc123"))
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("JSON log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if line["request_id"] != "abc123" || line["msg"] != "request" {
+		t.Fatalf("unexpected line: %v", line)
+	}
+}
+
+func TestLogFlagsTextAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lf := LogFlags{Format: "text", Level: "warn"}
+	logger, err := lf.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept", slog.String("request_id", "w1"))
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("info line not filtered at warn level: %q", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "request_id=w1") {
+		t.Fatalf("warn line missing: %q", out)
+	}
+}
+
+func TestLogFlagsInvalid(t *testing.T) {
+	if _, err := (&LogFlags{Format: "xml", Level: "info"}).Logger(&bytes.Buffer{}); err == nil {
+		t.Fatal("invalid format accepted")
+	}
+	if _, err := (&LogFlags{Format: "text", Level: "loud"}).Logger(&bytes.Buffer{}); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+}
+
+func TestLogFlagsDefaults(t *testing.T) {
+	// Zero values behave as text/info so a tool can use the struct without
+	// Register.
+	var buf bytes.Buffer
+	logger, err := (&LogFlags{}).Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hidden")
+	logger.Info("shown")
+	if strings.Contains(buf.String(), "hidden") || !strings.Contains(buf.String(), "shown") {
+		t.Fatalf("default level wrong: %q", buf.String())
+	}
+}

@@ -22,6 +22,8 @@ type TelemetryFlags struct {
 	TraceOut string
 	// JSONOut receives structured JSONL telemetry events.
 	JSONOut string
+	// Pprof mounts net/http/pprof on the metrics endpoint.
+	Pprof bool
 }
 
 // Register installs -metrics-addr, -trace-out and -telemetry-json on the
@@ -33,6 +35,8 @@ func (t *TelemetryFlags) Register() {
 		"write a Chrome trace_event JSON file of the run to this path (load in Perfetto or chrome://tracing)")
 	flag.StringVar(&t.JSONOut, "telemetry-json", "",
 		"write structured JSONL telemetry events to this file")
+	flag.BoolVar(&t.Pprof, "pprof", false,
+		"serve net/http/pprof runtime profiling under /debug/pprof/ on the metrics address")
 }
 
 // Active reports whether any telemetry flag was set.
@@ -62,8 +66,12 @@ func (t *TelemetryFlags) Start() (stop func(), err error) {
 
 	var shutdown func(context.Context) error
 	if t.MetricsAddr != "" {
+		h := reg.Handler()
+		if t.Pprof {
+			h = telemetry.WithPprof(h)
+		}
 		var addr string
-		addr, shutdown, err = reg.Serve(t.MetricsAddr)
+		addr, shutdown, err = telemetry.ServeHTTP(t.MetricsAddr, h)
 		if err != nil {
 			if logFile != nil {
 				logFile.Close()
@@ -71,6 +79,9 @@ func (t *TelemetryFlags) Start() (stop func(), err error) {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", addr)
+		if t.Pprof {
+			fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/debug/pprof/\n", addr)
+		}
 	}
 
 	return func() {

@@ -58,7 +58,13 @@ func (g *Gate) Occupancy() int { return len(g.queue) }
 // Acquire admits the caller: it returns nil once an execution slot is held,
 // ErrSaturated when the waiting room is full, or the context error when ctx
 // expires while waiting. Every nil return must be paired with Release.
+//
+// When ctx carries a request trace (telemetry.ContextWithTrace), the time
+// spent waiting for admission is recorded as a "gate.wait" stage, so a
+// request that queued behind a saturated solver shows its admission wait in
+// the flight recorder rather than folding it into the solve time.
 func (g *Gate) Acquire(ctx context.Context) error {
+	defer telemetry.Stage(ctx, "gate.wait")()
 	select {
 	case g.queue <- struct{}{}:
 	default:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"fpmpart/internal/fpm"
 	"fpmpart/internal/telemetry"
@@ -51,6 +52,10 @@ func FPMContext(ctx context.Context, devices []Device, n int, opts FPMOptions) (
 	if err := validate(devices, n); err != nil {
 		return Result{}, err
 	}
+	// When ctx carries a request trace, the whole bisection is one
+	// "bisection" stage and the iteration count lands on the trace, so the
+	// flight recorder shows how much of a served request was solver time.
+	defer telemetry.Stage(ctx, "bisection")()
 	opts = opts.withDefaults()
 	if n == 0 {
 		return finish(devices, make([]int, len(devices))), nil
@@ -139,6 +144,7 @@ func FPMContext(ctx context.Context, devices []Device, n int, opts FPMOptions) (
 	res := finish(devices, units)
 	res.Iterations = iterations
 	res.Converged = converged
+	telemetry.AnnotateTrace(ctx, "solve_iterations", strconv.Itoa(iterations))
 	recordResult("fpm", fpmRunsTotal, res)
 	return res, nil
 }

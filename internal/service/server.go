@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
+	"regexp"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -36,6 +39,22 @@ type Config struct {
 	RequestTimeout time.Duration
 	// CacheSize bounds the solution LRU. Default 4096.
 	CacheSize int
+	// DisableRequestTracing turns off per-request trace capture and the
+	// flight recorder (the zero value keeps tracing on — its steady-state
+	// cost is a few small allocations per request).
+	DisableRequestTracing bool
+	// FlightRecorderSize is the number of recent request traces retained in
+	// the flight-recorder ring. Default 256.
+	FlightRecorderSize int
+	// FlightRecorderReserve is the number of slowest (and, separately,
+	// errored) traces retained beyond the recent ring. Default 32.
+	FlightRecorderReserve int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default: the endpoints expose process internals.
+	EnablePprof bool
+	// Logger receives structured request/panic logs with trace-ID
+	// correlation. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +67,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 4096
 	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
+	}
+	if c.FlightRecorderReserve <= 0 {
+		c.FlightRecorderReserve = 32
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -59,6 +87,8 @@ type Server struct {
 	cache    *solutionCache
 	flights  flightGroup
 	gate     *par.Gate
+	recorder *telemetry.FlightRecorder
+	logger   *slog.Logger
 	draining atomic.Bool
 	// partitionSeen counts partition requests admitted by the handler
 	// (monotonic, independent of the telemetry registry). The drain test
@@ -76,6 +106,10 @@ func New(cfg Config) (*Server, error) {
 		Models: NewRegistry(cfg.ModelDir),
 		cache:  newSolutionCache(cfg.CacheSize),
 		gate:   par.NewGate(cfg.MaxConcurrent, cfg.QueueDepth),
+		logger: cfg.Logger,
+	}
+	if !cfg.DisableRequestTracing {
+		s.recorder = telemetry.NewFlightRecorder(cfg.FlightRecorderSize, cfg.FlightRecorderReserve)
 	}
 	if _, err := s.Models.Load(); err != nil {
 		return nil, err
@@ -94,6 +128,10 @@ func (s *Server) CacheLen() int { return s.cache.len() }
 // the handler since the server started.
 func (s *Server) PartitionSeen() int64 { return s.partitionSeen.Load() }
 
+// Recorder exposes the flight recorder (nil when request tracing is
+// disabled) for tests and embedding tools.
+func (s *Server) Recorder() *telemetry.FlightRecorder { return s.recorder }
+
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz          liveness (503 while draining)
@@ -104,6 +142,7 @@ func (s *Server) PartitionSeen() int64 { return s.partitionSeen.Load() }
 //	POST   /v1/partition     FPM partition over registered models
 //	POST   /v1/predict       time/speed/deadline lookups against one model
 //	GET    /metrics[.json]   telemetry registry exposition
+//	GET    /debug/requests   flight recorder (recent/slowest/errored traces)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -113,37 +152,153 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/models/{id}", s.instrument("models.delete", s.handleDeleteModel))
 	mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
 	mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	// Deliberately not instrumented: the recorder must stay reachable even
+	// when the serving path is saturated, and recording reads of the recorder
+	// in the recorder itself would be noise.
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	th := telemetry.Default().Handler()
 	mux.Handle("GET /metrics", th)
 	mux.Handle("GET /metrics.json", th)
 	mux.Handle("GET /trace.json", th)
+	if s.cfg.EnablePprof {
+		return telemetry.WithPprof(mux)
+	}
 	return mux
 }
 
-// statusWriter captures the response code for request metrics.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeError(w, http.StatusNotFound, "request tracing disabled")
+		return
+	}
+	s.recorder.ServeHTTP(w, r)
+}
+
+// statusWriter captures the response code for request metrics, and whether
+// the handler wrote anything (so the panic middleware knows if a 500 can
+// still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request counter, latency histogram,
-// in-flight gauge and the per-request deadline.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// requestIDRE accepts caller-supplied X-Request-Id values: printable token
+// characters, bounded length. Anything else is ignored and a fresh ID is
+// generated, so a hostile header cannot smuggle bytes into logs or JSON.
+var requestIDRE = regexp.MustCompile(`^[A-Za-z0-9._:-]{1,128}$`)
+
+// clientRequestID extracts a caller-supplied request ID: X-Request-Id
+// verbatim when well-formed, else the trace-id field of a W3C traceparent
+// header. Empty means "generate one".
+func clientRequestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); requestIDRE.MatchString(id) {
+		return id
+	}
+	// traceparent: version-traceid-spanid-flags; adopt the 32-hex trace-id.
+	if tp := r.Header.Get("Traceparent"); tp != "" {
+		parts := strings.Split(tp, "-")
+		if len(parts) == 4 && len(parts[1]) == 32 && isLowerHex(parts[1]) && parts[1] != strings.Repeat("0", 32) {
+			return parts[1]
+		}
+	}
+	return ""
+}
+
+func isLowerHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// instrument wraps a handler with panic recovery, the request counter,
+// latency histogram, in-flight gauge, the per-request deadline, and — when
+// tracing is enabled — a request trace recorded into the flight recorder and
+// correlated with a structured log line. Metrics and trace are recorded in a
+// defer so they stay accurate on the panic path.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	h = s.recovered(route, h)
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		start := time.Now()
 		inflightGauge.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		var rt *telemetry.ReqTrace
+		if s.recorder != nil {
+			rt = telemetry.NewReqTrace(clientRequestID(r), route)
+			ctx = telemetry.ContextWithTrace(ctx, rt)
+			w.Header().Set("X-Request-Id", rt.ID())
+		}
+		defer func() {
+			elapsed := time.Since(start)
+			inflightGauge.Add(-1)
+			requestsTotal(route, sw.status).Inc()
+			requestSeconds(route).Observe(elapsed.Seconds())
+			if rt != nil {
+				rt.Finish(sw.status)
+				s.recorder.Record(rt)
+			}
+			level := slog.LevelDebug
+			if sw.status >= 500 {
+				level = slog.LevelError
+			}
+			s.logger.LogAttrs(ctx, level, "request",
+				slog.String("request_id", rt.ID()),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed))
+		}()
 		h(sw, r.WithContext(ctx))
-		inflightGauge.Add(-1)
-		requestsTotal(route, sw.status).Inc()
-		requestSeconds(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+// recovered converts a handler panic into a 500 response (when nothing was
+// written yet), counts it in http_panics_total, and logs the stack with the
+// request's trace ID so the flight recorder entry and the log line can be
+// joined. http.ErrAbortHandler is re-panicked: it is net/http's sanctioned
+// way to abort a response and must keep its semantics.
+func (s *Server) recovered(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			panicsTotal.Inc()
+			ctx := r.Context()
+			telemetry.AnnotateTrace(ctx, "panic", fmt.Sprint(p))
+			s.logger.LogAttrs(ctx, slog.LevelError, "panic",
+				slog.String("request_id", telemetry.TraceFrom(ctx).ID()),
+				slog.String("route", route),
+				slog.Any("value", p),
+				slog.String("stack", string(debug.Stack())))
+			sw, _ := w.(*statusWriter)
+			if sw != nil && sw.wrote {
+				// Headers are gone; all we can do is record the failure.
+				sw.status = http.StatusInternalServerError
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		h(w, r)
 	}
 }
 
@@ -352,6 +507,8 @@ func (s *Server) cacheKey(req *partitionRequest, models []*Model) string {
 
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	s.partitionSeen.Add(1)
+	reqStart := time.Now()
+	ctx := r.Context()
 	var req partitionRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
@@ -361,31 +518,39 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	endResolve := telemetry.Stage(ctx, "resolve")
 	models, err := s.Models.Resolve(req.Models)
+	endResolve()
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 
 	key := s.cacheKey(&req, models)
-	if resp, ok := s.cache.get(key); ok {
+	endCache := telemetry.Stage(ctx, "cache")
+	resp, hit := s.cache.get(key)
+	endCache()
+	if hit {
 		cacheHits.Inc()
-		warmSeconds.Observe(0)
+		telemetry.AnnotateTrace(ctx, "cache", "hit")
+		warmSeconds.Observe(time.Since(reqStart).Seconds())
 		out := *resp
 		out.Cached = true
-		writeJSON(w, http.StatusOK, &out)
+		s.writeResult(ctx, w, http.StatusOK, &out)
 		return
 	}
 	cacheMisses.Inc()
+	telemetry.AnnotateTrace(ctx, "cache", "miss")
 
-	ctx := r.Context()
 	resp, err, shared := s.flights.doCtx(ctx, key, func() (*partitionResponse, error) {
-		if err := s.gate.Acquire(ctx); err != nil {
+		sctx, endSolve := telemetry.StartStage(ctx, "solve")
+		defer endSolve()
+		if err := s.gate.Acquire(sctx); err != nil {
 			return nil, err
 		}
 		defer s.gate.Release()
 		start := time.Now()
-		out, err := s.solve(ctx, &req, models)
+		out, err := s.solve(sctx, &req, models)
 		if err != nil {
 			return nil, err
 		}
@@ -396,16 +561,21 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	})
 	if shared {
 		cacheCoalesced.Inc()
+		// Later annotation wins in the snapshot, so a coalesced follower
+		// shows cache=coalesced rather than the miss recorded above.
+		telemetry.AnnotateTrace(ctx, "cache", "coalesced")
 		// The leader's solve can fail with the *leader's* context error; if
 		// our own context is still live, solve uncoalesced rather than
 		// failing a healthy request.
 		if err != nil && isContextErr(err) && ctx.Err() == nil {
 			resp, err = func() (*partitionResponse, error) {
-				if err := s.gate.Acquire(ctx); err != nil {
+				sctx, endSolve := telemetry.StartStage(ctx, "solve")
+				defer endSolve()
+				if err := s.gate.Acquire(sctx); err != nil {
 					return nil, err
 				}
 				defer s.gate.Release()
-				return s.solve(ctx, &req, models)
+				return s.solve(sctx, &req, models)
 			}()
 		}
 	}
@@ -415,7 +585,14 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	out := *resp
 	out.Coalesced = shared
-	writeJSON(w, http.StatusOK, &out)
+	s.writeResult(ctx, w, http.StatusOK, &out)
+}
+
+// writeResult is writeJSON wrapped in a "serialize" trace stage, so the span
+// tree of a served partition separates compute time from response encoding.
+func (s *Server) writeResult(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	defer telemetry.Stage(ctx, "serialize")()
+	writeJSON(w, status, v)
 }
 
 func isContextErr(err error) bool {
@@ -615,6 +792,7 @@ func Routes() []string {
 		"POST /v1/partition",
 		"POST /v1/predict",
 		"GET /metrics",
+		"GET /debug/requests",
 	}
 	sort.Strings(rs)
 	return rs

@@ -10,15 +10,33 @@ import (
 // the latency histograms separate the cached fast path from cold solves so
 // the selfcheck's warm/cold p99 split is visible in /metrics too. All free
 // while the registry is disabled.
+// The warm/cold histograms use fine factor-2 exponential buckets (1µs up to
+// ~33s) rather than DefBuckets: the selfcheck asserts the warm/cold p99
+// split from these histograms server-side, and quantile interpolation error
+// is bounded by the bucket width.
 var (
 	inflightGauge  = telemetry.Default().Gauge("fpmd_inflight_requests")
 	cacheHits      = telemetry.Default().Counter("fpmd_cache_hits_total")
 	cacheMisses    = telemetry.Default().Counter("fpmd_cache_misses_total")
 	cacheCoalesced = telemetry.Default().Counter("fpmd_cache_coalesced_total")
 	shedTotal      = telemetry.Default().Counter("fpmd_shed_total")
-	coldSeconds    = telemetry.Default().Histogram("fpmd_partition_cold_seconds", nil)
-	warmSeconds    = telemetry.Default().Histogram("fpmd_partition_warm_seconds", nil)
+	panicsTotal    = telemetry.Default().Counter("http_panics_total")
+	coldSeconds    = telemetry.Default().Histogram("fpmd_partition_cold_seconds", telemetry.ExpBuckets(1e-6, 2, 26))
+	warmSeconds    = telemetry.Default().Histogram("fpmd_partition_warm_seconds", telemetry.ExpBuckets(1e-6, 2, 26))
 )
+
+// ServerLatencyQuantile reads the server-side partition latency histograms
+// (cold solve seconds / warm cache-hit request seconds) at quantile q. The
+// selfcheck asserts the warm/cold split on these, so a client-side
+// measurement artifact (clock skew, scheduling noise) cannot mask a
+// server-side regression.
+func ServerLatencyQuantile(warm bool, q float64) (value float64, observations uint64) {
+	h := coldSeconds
+	if warm {
+		h = warmSeconds
+	}
+	return h.Quantile(q), h.Count()
+}
 
 // requestsTotal returns the counter for one route/status pair. The registry
 // deduplicates identities, so calling this per request is cheap enough for

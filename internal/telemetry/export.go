@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -101,6 +102,21 @@ func (r *Registry) Handler() http.Handler {
 		ct.AddTracer("tracer", r.Tracer())
 		_ = ct.Write(w)
 	})
+	return mux
+}
+
+// WithPprof returns a handler that serves the net/http/pprof runtime
+// profiling endpoints under /debug/pprof/ and delegates every other path to
+// next. Profiling is opt-in (a flag on the daemons and tools) because the
+// endpoints expose process internals and a CPU profile costs real time.
+func WithPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
 	return mux
 }
 

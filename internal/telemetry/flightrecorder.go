@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecorder retains completed request traces for after-the-fact
+// debugging: a bounded ring of the most recent requests plus always-retained
+// reservoirs of the slowest and of the errored ones, so a tail-latency
+// incident is inspectable from GET /debug/requests without re-running load.
+// Recording is one short critical section per request (ring store + reservoir
+// check), cheap enough for the warm path.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	ring     []*ReqTrace // capacity = recent; nil slots until filled
+	next     int
+	slow     []*ReqTrace // up to reserve slowest-ever traces
+	errored  []*ReqTrace // ring of the last reserve errored traces
+	errNext  int
+	recorded uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last `recent` completed
+// traces (default 256) and reservoirs of the `reserve` slowest and `reserve`
+// most recent errored traces (default 32).
+func NewFlightRecorder(recent, reserve int) *FlightRecorder {
+	if recent <= 0 {
+		recent = 256
+	}
+	if reserve <= 0 {
+		reserve = 32
+	}
+	return &FlightRecorder{
+		ring:    make([]*ReqTrace, recent),
+		errored: make([]*ReqTrace, reserve),
+		slow:    make([]*ReqTrace, 0, reserve),
+	}
+}
+
+// Record retains a finished trace. Nil recorders and nil traces are no-ops,
+// so the serving path can call it unconditionally.
+func (f *FlightRecorder) Record(t *ReqTrace) {
+	if f == nil || t == nil {
+		return
+	}
+	dur := t.Duration()
+	status := t.Status()
+	f.mu.Lock()
+	f.recorded++
+	f.ring[f.next] = t
+	f.next = (f.next + 1) % len(f.ring)
+	if status >= http.StatusInternalServerError {
+		f.errored[f.errNext] = t
+		f.errNext = (f.errNext + 1) % len(f.errored)
+	}
+	if len(f.slow) < cap(f.slow) {
+		f.slow = append(f.slow, t)
+	} else {
+		// Replace the fastest of the retained slow traces when beaten.
+		min := 0
+		for i := 1; i < len(f.slow); i++ {
+			if f.slow[i].Duration() < f.slow[min].Duration() {
+				min = i
+			}
+		}
+		if dur > f.slow[min].Duration() {
+			f.slow[min] = t
+		}
+	}
+	f.mu.Unlock()
+}
+
+// RecordedTotal returns how many traces have ever been recorded.
+func (f *FlightRecorder) RecordedTotal() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recorded
+}
+
+// Recent returns the retained recent traces, newest first.
+func (f *FlightRecorder) Recent() []*ReqTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*ReqTrace, 0, len(f.ring))
+	for i := 1; i <= len(f.ring); i++ {
+		t := f.ring[(f.next-i+len(f.ring))%len(f.ring)]
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Slowest returns the retained slowest traces, slowest first.
+func (f *FlightRecorder) Slowest() []*ReqTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := append([]*ReqTrace(nil), f.slow...)
+	f.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration() > out[j].Duration() })
+	return out
+}
+
+// Errored returns the retained errored (status >= 500) traces, newest first.
+func (f *FlightRecorder) Errored() []*ReqTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*ReqTrace, 0, len(f.errored))
+	for i := 1; i <= len(f.errored); i++ {
+		t := f.errored[(f.errNext-i+len(f.errored))%len(f.errored)]
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given id (searching the recent
+// ring, then the slow and errored reservoirs), or nil.
+func (f *FlightRecorder) Get(id string) *ReqTrace {
+	if f == nil || id == "" {
+		return nil
+	}
+	for _, set := range [][]*ReqTrace{f.Recent(), f.Slowest(), f.Errored()} {
+		for _, t := range set {
+			if t.ID() == id {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// reqSummary is the list-view JSON of one trace.
+type reqSummary struct {
+	ID         string            `json:"id"`
+	Route      string            `json:"route"`
+	Start      time.Time         `json:"start"`
+	Status     int               `json:"status"`
+	DurationUS float64           `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+func summarize(ts []*ReqTrace) []reqSummary {
+	out := make([]reqSummary, len(ts))
+	for i, t := range ts {
+		s := t.Snapshot()
+		out[i] = reqSummary{
+			ID: s.ID, Route: s.Route, Start: s.Start,
+			Status: s.Status, DurationUS: s.DurationUS, Attrs: s.Attrs,
+		}
+	}
+	return out
+}
+
+// ServeHTTP implements GET /debug/requests:
+//
+//	/debug/requests                    JSON list: recent, slowest, errored
+//	/debug/requests?id=X               one trace with its full span tree
+//	/debug/requests?id=X&format=chrome the same trace as Chrome trace JSON
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	writeJSON := func(status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		t := f.Get(id)
+		if t == nil {
+			writeJSON(http.StatusNotFound, map[string]string{"error": "no retained trace with id " + id})
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			ct := NewChromeTrace()
+			t.AddToChromeTrace(ct, "fpmd")
+			_ = ct.Write(w)
+			return
+		}
+		writeJSON(http.StatusOK, t.Snapshot())
+		return
+	}
+	writeJSON(http.StatusOK, map[string]any{
+		"recorded_total": f.RecordedTotal(),
+		"recent":         summarize(f.Recent()),
+		"slowest":        summarize(f.Slowest()),
+		"errored":        summarize(f.Errored()),
+	})
+}

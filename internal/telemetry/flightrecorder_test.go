@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// finishedTrace fabricates a completed trace with a precise duration, which
+// the wall clock cannot deliver reliably in tests.
+func finishedTrace(id string, status int, dur time.Duration) *ReqTrace {
+	return &ReqTrace{
+		id: id, route: "partition", begin: time.Now(),
+		status: status, durNS: dur.Nanoseconds(), done: true,
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	for i := 0; i < 10; i++ {
+		f.Record(finishedTrace(fmt.Sprintf("r%d", i), 200, time.Duration(i)*time.Millisecond))
+	}
+	if got := f.RecordedTotal(); got != 10 {
+		t.Fatalf("RecordedTotal = %d, want 10", got)
+	}
+	recent := f.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("Recent len = %d, want 4", len(recent))
+	}
+	// Newest first.
+	for i, want := range []string{"r9", "r8", "r7", "r6"} {
+		if recent[i].ID() != want {
+			t.Fatalf("Recent[%d] = %s, want %s", i, recent[i].ID(), want)
+		}
+	}
+}
+
+func TestFlightRecorderSlowestSurvivesEviction(t *testing.T) {
+	f := NewFlightRecorder(2, 2)
+	f.Record(finishedTrace("slow-1", 200, time.Second))
+	f.Record(finishedTrace("slow-2", 200, 2*time.Second))
+	// Flood with fast requests: the ring forgets the slow ones, the
+	// reservoir must not.
+	for i := 0; i < 20; i++ {
+		f.Record(finishedTrace(fmt.Sprintf("fast-%d", i), 200, time.Microsecond))
+	}
+	slow := f.Slowest()
+	if len(slow) != 2 || slow[0].ID() != "slow-2" || slow[1].ID() != "slow-1" {
+		ids := make([]string, len(slow))
+		for i, s := range slow {
+			ids[i] = s.ID()
+		}
+		t.Fatalf("Slowest = %v, want [slow-2 slow-1]", ids)
+	}
+	if f.Get("slow-1") == nil {
+		t.Fatal("Get(slow-1) must find the reservoir-retained trace")
+	}
+}
+
+func TestFlightRecorderErroredRetention(t *testing.T) {
+	f := NewFlightRecorder(2, 3)
+	f.Record(finishedTrace("boom-1", 500, time.Millisecond))
+	for i := 0; i < 10; i++ {
+		f.Record(finishedTrace(fmt.Sprintf("ok-%d", i), 200, time.Millisecond))
+	}
+	f.Record(finishedTrace("boom-2", 503, time.Millisecond))
+	errored := f.Errored()
+	if len(errored) != 2 || errored[0].ID() != "boom-2" || errored[1].ID() != "boom-1" {
+		ids := make([]string, len(errored))
+		for i, s := range errored {
+			ids[i] = s.ID()
+		}
+		t.Fatalf("Errored = %v, want [boom-2 boom-1]", ids)
+	}
+	// 4xx is a client error, not a server failure: not retained.
+	f.Record(finishedTrace("teapot", 418, time.Millisecond))
+	if len(f.Errored()) != 2 {
+		t.Fatal("4xx must not enter the errored reservoir")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(finishedTrace("x", 200, time.Millisecond))
+	if f.RecordedTotal() != 0 || f.Recent() != nil || f.Slowest() != nil || f.Errored() != nil || f.Get("x") != nil {
+		t.Fatal("nil recorder methods must be no-ops")
+	}
+	NewFlightRecorder(4, 4).Record(nil) // nil trace is a no-op too
+}
+
+func TestFlightRecorderServeHTTPList(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	f.Record(finishedTrace("list-1", 200, time.Millisecond))
+	f.Record(finishedTrace("list-2", 500, 2*time.Millisecond))
+
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc struct {
+		RecordedTotal uint64 `json:"recorded_total"`
+		Recent        []struct {
+			ID     string `json:"id"`
+			Status int    `json:"status"`
+		} `json:"recent"`
+		Slowest []json.RawMessage `json:"slowest"`
+		Errored []struct {
+			ID string `json:"id"`
+		} `json:"errored"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("list is not JSON: %v", err)
+	}
+	if doc.RecordedTotal != 2 || len(doc.Recent) != 2 || len(doc.Errored) != 1 {
+		t.Fatalf("unexpected list: %+v", doc)
+	}
+	if doc.Recent[0].ID != "list-2" || doc.Errored[0].ID != "list-2" {
+		t.Fatalf("unexpected ordering: %+v", doc)
+	}
+}
+
+func TestFlightRecorderServeHTTPDrilldown(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	rt := finishedTrace("drill", 200, time.Millisecond)
+	rt.spans = []ReqSpan{{Name: "solve", Parent: -1, StartNS: 0, EndNS: 1000}}
+	f.Record(rt)
+
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?id=drill", nil))
+	var snap ReqTraceSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("drill-down is not JSON: %v", err)
+	}
+	if snap.ID != "drill" || len(snap.Spans) != 1 || snap.Spans[0].Name != "solve" {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?id=missing", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing id: status = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?id=drill&format=chrome", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "traceEvents") {
+		t.Fatalf("chrome export failed: %d %s", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyAndInvalid(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	h := r.Histogram("q_test_empty_seconds", DefBuckets)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	h.Observe(1)
+	for _, q := range []float64{0, -1, 1.5, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Fatalf("Quantile(%v) must be NaN", q)
+		}
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile must be NaN")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	// Buckets: (0,1], (1,2], (2,4], +Inf
+	h := r.Histogram("q_test_interp_seconds", []float64{1, 2, 4})
+	// 10 observations in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	// Median rank 5 of 10 falls mid-bucket: 1 + (2-1)*5/10 = 1.5.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	// p100 is the bucket's upper bound.
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Quantile(1) = %v, want 2", got)
+	}
+}
+
+func TestQuantileSpreadAcrossBuckets(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	h := r.Histogram("q_test_spread_seconds", []float64{1, 2, 4})
+	h.Observe(0.5) // (0,1]
+	h.Observe(1.5) // (1,2]
+	h.Observe(3)   // (2,4]
+	h.Observe(3.5) // (2,4]
+	// Rank 0.9*4 = 3.6 lands in (2,4]: 2 + 2*(3.6-2)/2 = 3.6.
+	if got := h.Quantile(0.9); math.Abs(got-3.6) > 1e-9 {
+		t.Fatalf("Quantile(0.9) = %v, want 3.6", got)
+	}
+	// Rank 0.25*4 = 1 is the single observation in the first bucket:
+	// interpolates within (0,1].
+	if got := h.Quantile(0.25); got <= 0 || got > 1 {
+		t.Fatalf("Quantile(0.25) = %v, want in (0,1]", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	h := r.Histogram("q_test_inf_seconds", []float64{1, 2})
+	h.Observe(100) // +Inf bucket
+	// Prometheus convention: report the largest finite bound.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile in +Inf bucket = %v, want 2", got)
+	}
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The runtime collector samples the Go runtime's own metrics into the
+// registry so the serving stack's resource story (goroutine count, heap, GC
+// pauses, scheduler latency) is scrapeable next to the request metrics.
+// Everything comes from runtime/metrics, so a name unsupported by the
+// running toolchain simply stays at zero.
+
+const (
+	sampleGoroutines  = "/sched/goroutines:goroutines"
+	sampleHeapObjects = "/memory/classes/heap/objects:bytes"
+	sampleMemTotal    = "/memory/classes/total:bytes"
+	sampleGCCycles    = "/gc/cycles/total:gc-cycles"
+	sampleGCPauses    = "/gc/pauses:seconds"
+	sampleSchedLat    = "/sched/latencies:seconds"
+)
+
+// runtimeCollector owns the sample buffer and the delta state for
+// cumulative runtime counters.
+type runtimeCollector struct {
+	reg     *Registry
+	samples []metrics.Sample
+
+	goroutines  *Gauge
+	heapObjects *Gauge
+	memTotal    *Gauge
+	gcCycles    *Counter
+	gcPauseP50  *Gauge
+	gcPauseMax  *Gauge
+	schedLatP50 *Gauge
+	schedLatP99 *Gauge
+
+	lastGCCycles uint64
+}
+
+func newRuntimeCollector(r *Registry) *runtimeCollector {
+	names := []string{
+		sampleGoroutines, sampleHeapObjects, sampleMemTotal,
+		sampleGCCycles, sampleGCPauses, sampleSchedLat,
+	}
+	c := &runtimeCollector{
+		reg:         r,
+		samples:     make([]metrics.Sample, len(names)),
+		goroutines:  r.Gauge("go_goroutines"),
+		heapObjects: r.Gauge("go_heap_objects_bytes"),
+		memTotal:    r.Gauge("go_memory_total_bytes"),
+		gcCycles:    r.Counter("go_gc_cycles_total"),
+		gcPauseP50:  r.Gauge("go_gc_pause_p50_seconds"),
+		gcPauseMax:  r.Gauge("go_gc_pause_max_seconds"),
+		schedLatP50: r.Gauge("go_sched_latency_p50_seconds"),
+		schedLatP99: r.Gauge("go_sched_latency_p99_seconds"),
+	}
+	for i, n := range names {
+		c.samples[i].Name = n
+	}
+	return c
+}
+
+func (c *runtimeCollector) collect() {
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case sampleGoroutines:
+			if v, ok := sampleUint(s); ok {
+				c.goroutines.Set(float64(v))
+			}
+		case sampleHeapObjects:
+			if v, ok := sampleUint(s); ok {
+				c.heapObjects.Set(float64(v))
+			}
+		case sampleMemTotal:
+			if v, ok := sampleUint(s); ok {
+				c.memTotal.Set(float64(v))
+			}
+		case sampleGCCycles:
+			if v, ok := sampleUint(s); ok {
+				if v > c.lastGCCycles {
+					c.gcCycles.Add(float64(v - c.lastGCCycles))
+				}
+				c.lastGCCycles = v
+			}
+		case sampleGCPauses:
+			if h := sampleHist(s); h != nil {
+				c.gcPauseP50.Set(runtimeHistQuantile(h, 0.50))
+				c.gcPauseMax.Set(runtimeHistMax(h))
+			}
+		case sampleSchedLat:
+			if h := sampleHist(s); h != nil {
+				c.schedLatP50.Set(runtimeHistQuantile(h, 0.50))
+				c.schedLatP99.Set(runtimeHistQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+func sampleUint(s metrics.Sample) (uint64, bool) {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0, false
+	}
+	return s.Value.Uint64(), true
+}
+
+func sampleHist(s metrics.Sample) *metrics.Float64Histogram {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.Value.Float64Histogram()
+}
+
+// runtimeHistQuantile estimates the q-quantile of a cumulative
+// runtime/metrics histogram (bucket-lower-bound estimate; 0 when empty).
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			// Buckets[i] is the lower bound of bucket i; the first and last
+			// bounds may be +-Inf.
+			b := h.Buckets[i]
+			if math.IsInf(b, 0) {
+				return 0
+			}
+			return b
+		}
+	}
+	return 0
+}
+
+// runtimeHistMax returns the lower bound of the highest non-empty bucket.
+func runtimeHistMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			b := h.Buckets[i]
+			if math.IsInf(b, 0) {
+				return 0
+			}
+			return b
+		}
+	}
+	return 0
+}
+
+// StartRuntimeCollector samples the Go runtime into the registry's
+// go_* metrics every interval (default 10s when interval <= 0): goroutine
+// count, heap and total memory, GC cycle count, GC pause and scheduler
+// latency quantiles. One sample is taken synchronously before it returns, so
+// a scrape immediately after is already populated. The returned stop
+// function is idempotent and waits for the sampling goroutine to exit.
+func (r *Registry) StartRuntimeCollector(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c := newRuntimeCollector(r)
+	c.collect()
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				c.collect()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}
