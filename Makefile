@@ -30,10 +30,12 @@ staticcheck:
 # Key benchmarks captured in the committed baseline. The sequential/parallel
 # pairs demonstrate the worker-pool speedup for model building and experiment
 # sweeps; the partition benchmarks track solver cost; the Gemm benchmarks
-# track the packed kernel against the seed blocked loop; the ServeTraced /
+# track the packed kernel against the seed blocked loop (GemmBatch covers
+# the batched small-GEMM engine against the looped baseline); Strassen
+# tracks the Winograd layer against its own leaf kernel; the ServeTraced /
 # ServeUntraced pair tracks the request-tracing overhead on the warm serving
 # path (budget: <5%).
-BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel|Gemm|ServeTraced|ServeUntraced
+BENCH_PATTERN ?= PartitionFPM|PartitionGeometric|Figure7Sweep|BuildModelSequential|BuildModelParallel|ExperimentSweepSequential|ExperimentSweepParallel|Gemm|Strassen|ServeTraced|ServeUntraced
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
 # Optional suffix for the baseline filename (e.g. BENCH_TAG=-gemm writes
 # BENCH_2026-08-05-gemm.json), so a re-run on the same day can sit alongside
@@ -49,10 +51,11 @@ bench:
 bench-all:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
-# CI smoke: one iteration of each GEMM benchmark, just to prove the kernels
-# (including the assembly micro-kernel, when the runner supports it) execute.
+# CI smoke: one iteration of each GEMM benchmark (batch engine and Strassen
+# layer included), just to prove the kernels — including the assembly
+# micro-kernels, when the runner supports them — execute.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'Gemm' -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench 'Gemm|Strassen' -benchtime=1x ./...
 
 # Diff two benchjson baselines: make benchcmp OLD=BENCH_a.json NEW=BENCH_b.json
 OLD ?=

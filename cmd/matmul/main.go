@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fpmpart/internal/app"
 	"fpmpart/internal/blas"
@@ -48,6 +49,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "measurement-noise seed")
 		tune     = flag.Bool("tune", false, "real mode: autotune the GEMM blocking before running")
 		gemmCfg  = flag.String("gemm-config", "", "real mode: fixed GEMM blocking \"mc,kc,nc,mr,nr\" (overrides -tune)")
+		batch    = flag.Bool("batch", false, "real mode: run rectangle updates through the batched GEMM engine")
+		strassen = flag.Bool("strassen", false, "real mode: use Strassen-Winograd for the verification product")
 		parallel = cliutil.Parallel()
 		tele     cliutil.TelemetryFlags
 	)
@@ -61,7 +64,7 @@ func main() {
 	case "sim":
 		err = runSim(&tele, *config, *n, *version, *seed, *parallel)
 	case "real":
-		err = runReal(*n, *b, *procs, *tune, *gemmCfg)
+		err = runReal(*n, *b, *procs, *tune, *gemmCfg, *batch, *strassen)
 	case "trace":
 		err = runTrace(*n)
 	default:
@@ -162,7 +165,7 @@ func evenLayout(p, n int) (*layout.BlockLayout, error) {
 	return l.Discretize(n)
 }
 
-func runReal(n, b, procs int, tune bool, gemmCfg string) error {
+func runReal(n, b, procs int, tune bool, gemmCfg string, batch, strassen bool) error {
 	if n <= 0 || b <= 0 || procs <= 0 {
 		return fmt.Errorf("invalid real-mode parameters n=%d b=%d procs=%d", n, b, procs)
 	}
@@ -205,17 +208,32 @@ func runReal(n, b, procs int, tune bool, gemmCfg string) error {
 	bm.FillRandom(2)
 	c := matrix.MustNew(dim, dim)
 
-	res, err := app.RunReal(bl, b, a, bm, c)
+	var res app.RealResult
+	if batch {
+		res, err = app.RunRealBatched(bl, b, a, bm, c, 0)
+	} else {
+		res, err = app.RunReal(bl, b, a, bm, c)
+	}
 	if err != nil {
 		return err
 	}
 	want := matrix.MustNew(dim, dim)
-	if err := blas.Gemm(1, a, bm, 0, want); err != nil {
+	if strassen {
+		t0 := time.Now()
+		if err := blas.GemmStrassen(1, a, bm, 0, want, 0); err != nil {
+			return err
+		}
+		fmt.Printf("verification product: strassen-winograd, %.3f s\n", time.Since(t0).Seconds())
+	} else if err := blas.Gemm(1, a, bm, 0, want); err != nil {
 		return err
 	}
 	diff := matrix.MaxAbsDiff(c, want)
-	fmt.Printf("real run: %d x %d elements, %d processes, %d iterations, %.3f s wall\n",
-		dim, dim, procs, res.Iterations, res.WallSeconds)
+	engine := "per-process"
+	if batch {
+		engine = "batched"
+	}
+	fmt.Printf("real run (%s): %d x %d elements, %d processes, %d iterations, %.3f s wall\n",
+		engine, dim, dim, procs, res.Iterations, res.WallSeconds)
 	fmt.Printf("max |distributed - direct| = %.2e\n", diff)
 	if diff > 1e-2 {
 		return fmt.Errorf("verification FAILED (diff %v)", diff)

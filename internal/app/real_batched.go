@@ -1,0 +1,71 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"fpmpart/internal/blas"
+	"fpmpart/internal/layout"
+	"fpmpart/internal/matrix"
+)
+
+// RunRealBatched executes the same blocked multiplication as RunReal, but
+// hands each iteration's rectangle updates to blas.GemmBatch instead of
+// spawning one goroutine per rectangle. The batch engine groups the
+// updates by shape and clusters the ones that share a pivot-row view of B
+// — in the column-based layout every process in the same grid column
+// reads the identical B view, so its packing cost is paid once per column
+// instead of once per process.
+//
+// This is the throughput-oriented execution mode: it computes the same
+// blocked product (each update equals the sequential packed GEMM of its
+// shape class, so the result matches RunReal to rounding), but it does
+// not time each process separately — PerProcessSeconds is left zero. Use
+// RunReal when building per-process functional performance models.
+func RunRealBatched(bl *layout.BlockLayout, b int, a, bm, c *matrix.Dense, workers int) (RealResult, error) {
+	if b <= 0 {
+		return RealResult{}, fmt.Errorf("app: invalid block size %d", b)
+	}
+	if err := bl.Validate(); err != nil {
+		return RealResult{}, err
+	}
+	n := bl.N
+	dim := n * b
+	for name, m := range map[string]*matrix.Dense{"A": a, "B": bm, "C": c} {
+		if m == nil || m.Rows != dim || m.Cols != dim {
+			return RealResult{}, fmt.Errorf("app: matrix %s must be %dx%d", name, dim, dim)
+		}
+	}
+
+	res := RealResult{PerProcessSeconds: make([]float64, len(bl.Rects)), Iterations: n}
+	items := make([]blas.BatchItem, 0, len(bl.Rects))
+	start := time.Now()
+	for k := 0; k < n; k++ {
+		items = items[:0]
+		for _, r := range bl.Rects {
+			if r.W == 0 || r.H == 0 {
+				continue
+			}
+			av, err := a.View(int(r.Y)*b, k*b, int(r.H)*b, b)
+			if err != nil {
+				return RealResult{}, err
+			}
+			bv, err := bm.View(k*b, int(r.X)*b, b, int(r.W)*b)
+			if err != nil {
+				return RealResult{}, err
+			}
+			cv, err := c.View(int(r.Y)*b, int(r.X)*b, int(r.H)*b, int(r.W)*b)
+			if err != nil {
+				return RealResult{}, err
+			}
+			items = append(items, blas.BatchItem{Alpha: 1, A: av, B: bv, Beta: 1, C: cv})
+		}
+		// The barrier between iterations is implicit: GemmBatch returns
+		// only when every update of iteration k is complete.
+		if err := blas.GemmBatch(items, workers); err != nil {
+			return RealResult{}, err
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+
+	"fpmpart/internal/fpm"
+)
+
+func TestBatchGEMMKernel(t *testing.T) {
+	k := &BatchGEMMKernel{Dim: 32, Workers: 1, MaxItems: 64}
+	if k.Name() == "" {
+		t.Error("empty name")
+	}
+	if k.MaxSize() != 64 {
+		t.Error("max size wrong")
+	}
+	t1, err := k.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 <= 0 {
+		t.Fatalf("non-positive wall time %v", t1)
+	}
+	// More items take more time (loose: wall-clock noise).
+	var big, small float64
+	for i := 0; i < 5; i++ {
+		a, err := k.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := k.Run(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small += a
+		big += b
+	}
+	if big <= small {
+		t.Errorf("16x the items not slower: %v vs %v", big, small)
+	}
+	// Bad inputs.
+	if _, err := k.Run(0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := (&BatchGEMMKernel{Dim: 0}).Run(4); err == nil {
+		t.Error("zero dim accepted")
+	}
+}
+
+func TestBatchGEMMKernelBuildsModel(t *testing.T) {
+	// End to end: a wall-clock FPM of batch throughput on this host.
+	k := &BatchGEMMKernel{Dim: 24, Workers: 1}
+	sizes, err := fpm.Grid(2, 32, 4, "geometric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, rep, err := BuildModel(k, sizes, Options{RelErr: 0.2, MaxReps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRuns < 8 {
+		t.Errorf("too few runs: %d", rep.TotalRuns)
+	}
+	for _, x := range []float64{2, 10, 32} {
+		if m.Speed(x) <= 0 {
+			t.Errorf("speed(%v) = %v", x, m.Speed(x))
+		}
+	}
+}

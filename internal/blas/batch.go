@@ -1,0 +1,222 @@
+package blas
+
+import (
+	"fmt"
+	"time"
+
+	"fpmpart/internal/matrix"
+	"fpmpart/internal/par"
+	"fpmpart/internal/telemetry"
+)
+
+// Batched GEMM. Serving traffic is many *small* problems, and for those the
+// per-call costs that GemmPacked amortises over a large loop nest — packing
+// B, spawning per-call workers, fragmenting a tiny C across mc blocks tuned
+// for large n — dominate. GemmBatch restructures the work batch-wise:
+//
+//   - Items are grouped by shape, and each shape group runs under the
+//     configuration of its shape class (ActiveFor), so a batch of n=128
+//     problems is not executed with large-n cache blocking.
+//   - Within a shape group, items sharing a B operand (the serving pattern:
+//     many activations against one weight matrix) are clustered and B is
+//     packed once per cluster instead of once per item.
+//   - Small-class items are scheduled item-at-a-time across an
+//     internal/par pool — for problems this size per-call parallelism is
+//     pure overhead, but across items the batch is embarrassingly parallel.
+//     Large items keep the per-call mc-block parallelism of GemmPacked.
+//
+// Every item's result is bit-identical to
+// GemmPacked(item, ActiveFor(shape), 1): the per-item accumulation order is
+// exactly the sequential path, whatever the pool width.
+
+// BatchItem is one C = alpha·A·B + beta·C problem in a batch.
+type BatchItem struct {
+	Alpha float32
+	A, B  *matrix.Dense
+	Beta  float32
+	C     *matrix.Dense
+}
+
+// batchKey identifies a shape group.
+type batchKey struct{ m, k, n int }
+
+// bKey identifies a shared B operand within a shape group: same backing
+// array offset and stride means the packed panels are identical.
+type bKey struct {
+	base   *float32
+	stride int
+}
+
+// GemmBatch computes every item of a batch. workers <= 0 selects
+// GOMAXPROCS. Items must not share a C operand (results would race);
+// sharing A or B is fine and sharing B is what the batch engine optimises
+// for. All items are validated before any work starts; on a later error
+// (from an invalid installed configuration) earlier items may already have
+// been computed, as in a sequential loop.
+func GemmBatch(items []BatchItem, workers int) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 0 // par.Workers resolves 0 to GOMAXPROCS
+	}
+	seenC := make(map[*float32]int, len(items))
+	for i := range items {
+		it := &items[i]
+		if err := checkShapes(it.A, it.B, it.C); err != nil {
+			return fmt.Errorf("blas: batch item %d: %w", i, err)
+		}
+		if len(it.C.Data) > 0 {
+			base := &it.C.Data[0]
+			if j, dup := seenC[base]; dup {
+				return fmt.Errorf("blas: batch items %d and %d share a C operand", j, i)
+			}
+			seenC[base] = i
+		}
+	}
+
+	telemetryOn := telemetry.Default().Enabled()
+	var wallStart time.Time
+	if telemetryOn {
+		wallStart = time.Now()
+	}
+
+	// Group by shape, preserving first-appearance order so errors and
+	// telemetry are deterministic.
+	groups := make(map[batchKey][]int, 4)
+	var order []batchKey
+	var flops float64
+	for i := range items {
+		key := batchKey{items[i].C.Rows, items[i].A.Cols, items[i].C.Cols}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+		flops += 2 * float64(key.m) * float64(key.k) * float64(key.n)
+	}
+
+	packsSaved := 0
+	for _, key := range order {
+		saved, err := runShapeGroup(items, groups[key], key, workers)
+		packsSaved += saved
+		if err != nil {
+			return err
+		}
+	}
+	if telemetryOn {
+		recordBatch(len(items), len(order), packsSaved, flops, time.Since(wallStart).Seconds())
+	}
+	return nil
+}
+
+// runShapeGroup executes one same-shape slice of the batch and reports how
+// many packB runs the shared-B clustering saved.
+func runShapeGroup(items []BatchItem, idx []int, key batchKey, workers int) (int, error) {
+	cfg := ActiveFor(key.m, key.k, key.n)
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+
+	// Large shapes: per-call mc-block parallelism already works; run the
+	// items through it sequentially.
+	if key.m > SmallSizeMax || key.k > SmallSizeMax || key.n > SmallSizeMax {
+		for _, i := range idx {
+			it := &items[i]
+			if err := GemmPacked(it.Alpha, it.A, it.B, it.Beta, it.C, cfg, workers); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+
+	// The shared-B fast path needs the whole of B in one packed block.
+	if key.k > cfg.KC || key.n > cfg.NC {
+		return 0, par.ForEach(workers, len(idx), func(j int) error {
+			it := &items[idx[j]]
+			return GemmPacked(it.Alpha, it.A, it.B, it.Beta, it.C, cfg, 1)
+		})
+	}
+
+	// Cluster the group's items by B identity and pack each distinct B
+	// exactly once. Buffers for every cluster are held live across the
+	// group (memory ∝ distinct B operands × packed-B size).
+	clusters := make(map[bKey]int, len(idx))
+	var bufs []*[]float32
+	var clusterOf = make([]int, len(idx))
+	for j, i := range idx {
+		b := items[i].B
+		k := bKey{stride: b.Stride}
+		if len(b.Data) > 0 {
+			k.base = &b.Data[0]
+		}
+		c, ok := clusters[k]
+		if !ok {
+			c = len(bufs)
+			clusters[k] = c
+			bufs = append(bufs, nil)
+		}
+		clusterOf[j] = c
+	}
+	nr := cfg.NR
+	packedLen := ceilDiv(key.n, nr) * nr * key.k
+	firstItem := make([]int, len(bufs))
+	for j := len(idx) - 1; j >= 0; j-- {
+		firstItem[clusterOf[j]] = idx[j]
+	}
+	for c := range bufs {
+		bufs[c] = getPanelBuf(packedLen)
+	}
+	defer func() {
+		for _, bp := range bufs {
+			putPanelBuf(bp)
+		}
+	}()
+	if err := par.ForEach(workers, len(bufs), func(c int) error {
+		packB(*bufs[c], items[firstItem[c]].B, 0, 0, key.k, key.n, nr)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	err := par.ForEach(workers, len(idx), func(j int) error {
+		it := &items[idx[j]]
+		gemmWithPackedB(it.Alpha, it.A, *bufs[clusterOf[j]], it.Beta, it.C, cfg, key.k)
+		return nil
+	})
+	return len(idx) - len(bufs), err
+}
+
+// gemmWithPackedB is the per-item small-class compute: the single-worker,
+// single-(jc,pc)-block body of GemmPacked against an already-packed B
+// block. The accumulation order is identical to
+// GemmPacked(alpha, a, b, beta, c, cfg, 1), so results are bit-identical
+// to the unbatched call.
+func gemmWithPackedB(alpha float32, a *matrix.Dense, bbuf []float32, beta float32, c *matrix.Dense, cfg Config, k int) {
+	m, n := c.Rows, c.Cols
+	if alpha == 0 {
+		applyBetaRange(beta, c, 0, m)
+		return
+	}
+	mr, nr := cfg.MR, cfg.NR
+	kern := kernelFor(mr, nr)
+	// B is packed as one k-deep block, so the beta == 0 store fast path of
+	// GemmPacked applies whenever a store kernel exists for the tile.
+	var stKern microKernel
+	if beta == 0 {
+		if st, ok := storeKernelFor(mr, nr); ok {
+			stKern = st
+		}
+	}
+	if stKern == nil {
+		applyBetaRange(beta, c, 0, m)
+	}
+	mc := min(cfg.MC, ceilDiv(m, mr)*mr)
+	abufP := getPanelBuf(ceilDiv(mc, mr) * mr * k)
+	defer putPanelBuf(abufP)
+	abuf := *abufP
+	for ic := 0; ic < m; ic += mc {
+		mcLen := min(mc, m-ic)
+		packA(abuf, a, alpha, ic, 0, mcLen, k, mr)
+		macroKernel(kern, stKern, abuf, bbuf, c, ic, 0, mcLen, n, k, mr, nr)
+	}
+}

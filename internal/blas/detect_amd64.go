@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package blas
 
@@ -13,6 +13,12 @@ func xgetbv() (eax, edx uint32)
 // hasAVX2FMA reports whether the CPU and OS support the AVX2+FMA
 // micro-kernel: FMA and AVX2 present, and the OS saves XMM/YMM state.
 var hasAVX2FMA = detectAVX2FMA()
+
+// hasAVX512 reports whether the CPU and OS support the AVX-512
+// micro-kernel: the F/DQ/BW/VL subsets the 8x32 kernel uses, and the OS
+// saves opmask and ZMM state. Detection is strictly stronger than
+// hasAVX2FMA's, so hasAVX512 implies hasAVX2FMA.
+var hasAVX512 = hasAVX2FMA && detectAVX512()
 
 func detectAVX2FMA() bool {
 	maxID, _, _, _ := cpuidex(0, 0)
@@ -37,4 +43,24 @@ func detectAVX2FMA() bool {
 	_, ebx7, _, _ := cpuidex(7, 0)
 	const avx2Bit = 1 << 5
 	return ebx7&avx2Bit != 0
+}
+
+func detectAVX512() bool {
+	// XCR0 bits 5 (opmask), 6 (ZMM_Hi256) and 7 (Hi16_ZMM) must be set:
+	// the OS restores the full AVX-512 register state. hasAVX2FMA already
+	// verified OSXSAVE, so xgetbv is safe to execute.
+	xeax, _ := xgetbv()
+	const avx512State = 0xe0
+	if xeax&avx512State != avx512State {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const (
+		avx512fBit  = 1 << 16
+		avx512dqBit = 1 << 17
+		avx512bwBit = 1 << 30
+		avx512vlBit = 1 << 31
+	)
+	const need = avx512fBit | avx512dqBit | avx512bwBit | avx512vlBit
+	return ebx7&need == need
 }

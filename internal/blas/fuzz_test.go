@@ -136,5 +136,32 @@ func FuzzGemmDifferential(f *testing.F) {
 		}
 		check("gemm-active-config", cActive)
 		sentActive("gemm-active-config")
+
+		// GemmBatch must agree with the reference AND be bit-identical to
+		// the sequential packed call under the shape-class configuration —
+		// that is the batch engine's determinism contract.
+		cBatch, sentBatch := cloneView()
+		if err := GemmBatch([]BatchItem{{Alpha: alpha, A: a, B: b, Beta: beta, C: cBatch}}, workers); err != nil {
+			t.Fatal(err)
+		}
+		check("batch", cBatch)
+		sentBatch("batch")
+		cClass, _ := cloneView()
+		if err := GemmPacked(alpha, a, b, beta, cClass, ActiveFor(m, k, n), 1); err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(cBatch, cClass); d != 0 {
+			t.Errorf("batch not bit-identical to sequential shape-class GEMM: %v", d)
+		}
+
+		// Strassen-Winograd against the reference. Fuzz shapes sit at or
+		// below the minimum cutoff, so this exercises the API boundary and
+		// leaf dispatch; TestStrassenDifferential covers real recursion.
+		cStr, sentStr := cloneView()
+		if err := GemmStrassenWith(alpha, a, b, beta, cStr, cfg, strassenMinCutoff, workers); err != nil {
+			t.Fatal(err)
+		}
+		check("strassen", cStr)
+		sentStr("strassen")
 	})
 }

@@ -174,8 +174,8 @@ func GemmPacked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense
 		wallStart = time.Now()
 	}
 
-	applyBetaRange(beta, c, 0, m)
 	if alpha == 0 {
+		applyBetaRange(beta, c, 0, m)
 		if telemetryOn {
 			recordGemm(m, n, 0, 0, 0, time.Since(wallStart).Seconds())
 		}
@@ -184,6 +184,18 @@ func GemmPacked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense
 
 	mr, nr := cfg.MR, cfg.NR
 	kern := kernelFor(mr, nr)
+	// beta == 0 with the whole depth in one k-block means every C tile is
+	// written by exactly one kernel invocation: use the store-writeback
+	// kernel and skip both the zeroing pre-pass and the C readback.
+	var stKern microKernel
+	if beta == 0 && cfg.KC >= k {
+		if st, ok := storeKernelFor(mr, nr); ok {
+			stKern = st
+		}
+	}
+	if stKern == nil {
+		applyBetaRange(beta, c, 0, m)
+	}
 	// Clamp the cache blocks to the problem, keeping mc/nc multiples of the
 	// register tile so panel indexing stays aligned.
 	kc := min(cfg.KC, k)
@@ -218,7 +230,7 @@ func GemmPacked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense
 			}
 
 			if workers <= 1 {
-				gemmWorker(kern, alpha, a, bbuf, c, 0, nBlocksM, nil,
+				gemmWorker(kern, stKern, alpha, a, bbuf, c, 0, nBlocksM, nil,
 					jc, pc, mc, kcLen, ncLen, mr, nr, telemetryOn, &packNanos, &computeNanos)
 				continue
 			}
@@ -228,7 +240,7 @@ func GemmPacked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					gemmWorker(kern, alpha, a, bbuf, c, 0, nBlocksM, &next,
+					gemmWorker(kern, stKern, alpha, a, bbuf, c, 0, nBlocksM, &next,
 						jc, pc, mc, kcLen, ncLen, mr, nr, telemetryOn, &packNanos, &computeNanos)
 				}()
 			}
@@ -248,7 +260,7 @@ func GemmPacked(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense
 // non-nil queue it pulls block indices from the shared atomic counter
 // (tile-aligned work stealing); otherwise it sweeps [blk0, blkN)
 // sequentially. Each worker packs its own A block into a pooled buffer.
-func gemmWorker(kern microKernel, alpha float32, a *matrix.Dense, bbuf []float32, c *matrix.Dense,
+func gemmWorker(kern, stKern microKernel, alpha float32, a *matrix.Dense, bbuf []float32, c *matrix.Dense,
 	blk0, blkN int, queue *atomic.Int64,
 	jc, pc, mc, kcLen, ncLen, mr, nr int,
 	telemetryOn bool, packNanos, computeNanos *atomic.Int64) {
@@ -282,7 +294,7 @@ func gemmWorker(kern microKernel, alpha float32, a *matrix.Dense, bbuf []float32
 			packNanos.Add(int64(now.Sub(t0)))
 			t0 = now
 		}
-		macroKernel(kern, abuf, bbuf, c, ic, jc, mcLen, ncLen, kcLen, mr, nr)
+		macroKernel(kern, stKern, abuf, bbuf, c, ic, jc, mcLen, ncLen, kcLen, mr, nr)
 		if telemetryOn {
 			computeNanos.Add(int64(time.Since(t0)))
 		}
@@ -316,8 +328,12 @@ func packBParallel(dst []float32, b *matrix.Dense, p0, j0, kcols, ncols, nr, wor
 // for each packed kc×nr B micro-panel (held in L1 across the sweep) it
 // streams every packed A micro-panel through the micro-kernel. Full tiles
 // update C in place; fringe tiles stage through a zeroed stack buffer and
-// add back only the valid h×w region.
-func macroKernel(kern microKernel, abuf, bbuf []float32, c *matrix.Dense,
+// write back only the valid h×w region.
+//
+// A non-nil stKern selects store mode (beta == 0, single k-block): full
+// tiles are overwritten via stKern without reading C, fringe tiles are
+// staged and copied rather than added.
+func macroKernel(kern, stKern microKernel, abuf, bbuf []float32, c *matrix.Dense,
 	i0, j0, mcLen, ncLen, kcLen, mr, nr int) {
 	for jr := 0; jr < ncLen; jr += nr {
 		w := min(nr, ncLen-jr)
@@ -327,7 +343,11 @@ func macroKernel(kern microKernel, abuf, bbuf []float32, c *matrix.Dense,
 			apan := abuf[(ir/mr)*kcLen*mr:]
 			if h == mr && w == nr {
 				cb := c.Data[(i0+ir)*c.Stride+j0+jr:]
-				kern(kcLen, apan, bpan, cb, c.Stride)
+				if stKern != nil {
+					stKern(kcLen, apan, bpan, cb, c.Stride)
+				} else {
+					kern(kcLen, apan, bpan, cb, c.Stride)
+				}
 				continue
 			}
 			var tmp [maxMR * maxNR]float32
@@ -335,6 +355,10 @@ func macroKernel(kern microKernel, abuf, bbuf []float32, c *matrix.Dense,
 			for i := 0; i < h; i++ {
 				crow := c.Data[(i0+ir+i)*c.Stride+j0+jr:]
 				trow := tmp[i*nr:]
+				if stKern != nil {
+					copy(crow[:w], trow[:w])
+					continue
+				}
 				for j := 0; j < w; j++ {
 					crow[j] += trow[j]
 				}

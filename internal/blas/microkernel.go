@@ -35,10 +35,28 @@ func kernelFor(mr, nr int) microKernel {
 		return microKernel6x4
 	case mr == 6 && nr == 16 && hasAVX2FMA:
 		return microKernel6x16AVX2
+	case mr == 8 && nr == 32 && hasAVX512:
+		return microKernel8x32AVX512
 	}
 	return func(kc int, a, b, c []float32, ldc int) {
 		microKernelGeneric(mr, nr, kc, a, b, c, ldc)
 	}
+}
+
+// storeKernelFor returns the store-writeback variant of the (mr, nr)
+// kernel, if one is implemented. Store kernels overwrite the C tile
+// instead of accumulating, so the beta == 0 fast path can skip both the
+// zeroing pre-pass and the C reads in the writeback; they are only valid
+// when each C tile is written by exactly one kernel invocation (a single
+// k-block covers the whole depth).
+func storeKernelFor(mr, nr int) (microKernel, bool) {
+	switch {
+	case mr == 6 && nr == 16 && hasAVX2FMA:
+		return microKernel6x16AVX2St, true
+	case mr == 8 && nr == 32 && hasAVX512:
+		return microKernel8x32AVX512St, true
+	}
+	return nil, false
 }
 
 // microKernelGeneric is the tile-shape-agnostic fallback: same contract as
@@ -65,12 +83,36 @@ func microKernelGeneric(mr, nr, kc int, a, b, c []float32, ldc int) {
 	}
 }
 
+// microKernelGenericSt is the store-writeback twin of microKernelGeneric,
+// the reference the assembly store kernels are tested against.
+func microKernelGenericSt(mr, nr, kc int, a, b, c []float32, ldc int) {
+	var acc [maxMR * maxNR]float32
+	for p := 0; p < kc; p++ {
+		ap := a[p*mr : p*mr+mr]
+		bp := b[p*nr : p*nr+nr]
+		for i := 0; i < mr; i++ {
+			ai := ap[i]
+			row := acc[i*nr : i*nr+nr]
+			for j := 0; j < nr; j++ {
+				row[j] += ai * bp[j]
+			}
+		}
+	}
+	for i := 0; i < mr; i++ {
+		crow := c[i*ldc : i*ldc+nr]
+		arow := acc[i*nr : i*nr+nr]
+		for j := 0; j < nr; j++ {
+			crow[j] = arow[j]
+		}
+	}
+}
+
 // maxMR and maxNR bound the register-tile search space; fringe tiles are
-// staged through a [maxMR*maxNR] stack buffer. nr up to 16 covers the
-// two-YMM-wide AVX2 tile.
+// staged through a [maxMR*maxNR] stack buffer. nr up to 32 covers the
+// two-ZMM-wide AVX-512 tile (and 16 the two-YMM-wide AVX2 tile).
 const (
 	maxMR = 8
-	maxNR = 16
+	maxNR = 32
 )
 
 func microKernel4x4(kc int, a, b, c []float32, ldc int) {

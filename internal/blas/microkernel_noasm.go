@@ -1,13 +1,36 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package blas
 
-// hasAVX2FMA is false off amd64; the scalar unrolled kernels are used.
-var hasAVX2FMA = false
+// hasAVX2FMA and hasAVX512 are false off amd64 (or under the noasm build
+// tag, which CI uses to exercise the pure-Go fallback kernels on amd64);
+// the scalar unrolled kernels are used.
+var (
+	hasAVX2FMA = false
+	hasAVX512  = false
+)
 
 // microKernel6x16AVX2 falls back to the generic kernel on non-amd64
 // targets. It is only reachable if a 6x16 configuration is installed
 // explicitly (the autotuner does not propose it without hasAVX2FMA).
 func microKernel6x16AVX2(kc int, a, b, c []float32, ldc int) {
 	microKernelGeneric(6, 16, kc, a, b, c, ldc)
+}
+
+// microKernel8x32AVX512 falls back to the generic kernel on non-amd64
+// targets; reachable only through an explicitly installed 8x32
+// configuration.
+func microKernel8x32AVX512(kc int, a, b, c []float32, ldc int) {
+	microKernelGeneric(8, 32, kc, a, b, c, ldc)
+}
+
+// The store variants are unreachable without the assembly kernels
+// (storeKernelFor only proposes them when the CPU flags are set), but keep
+// correct fallbacks so explicit calls behave.
+func microKernel6x16AVX2St(kc int, a, b, c []float32, ldc int) {
+	microKernelGenericSt(6, 16, kc, a, b, c, ldc)
+}
+
+func microKernel8x32AVX512St(kc int, a, b, c []float32, ldc int) {
+	microKernelGenericSt(8, 32, kc, a, b, c, ldc)
 }

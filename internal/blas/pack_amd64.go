@@ -1,0 +1,9 @@
+//go:build amd64 && !noasm
+
+package blas
+
+// packA8x8 transposes nblk 8×8 blocks of an 8-row strip of A into kc×8
+// micro-panel order, scaling by alpha: dst[p*8+i] = alpha*src[i*stride+p]
+// for p in [0, nblk*8). Implemented in pack_amd64.s with the 24-shuffle
+// AVX 8×8 transpose; only dispatched when hasAVX2FMA is true.
+func packA8x8(dst, src []float32, stride, nblk int, alpha float32)

@@ -1,0 +1,104 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func packA8x8(dst, src []float32, stride, nblk int, alpha float32)
+//
+// Packs nblk blocks of 8 depth-columns from an 8-row strip of A into
+// kc×8 micro-panel order: dst[p*8+i] = alpha * src[i*stride+p]. Each
+// block is an 8×8 f32 transpose done in registers (unpck/shuf/perm2f128,
+// the standard 24-shuffle sequence), then scaled by alpha and stored as
+// 256 contiguous bytes — replacing the scalar strided-store loop that
+// dominated small-GEMM packing time.
+//
+// Requirements: src has 8 full rows of at least nblk*8 elements at the
+// given stride; dst has nblk*64 elements.
+TEXT ·packA8x8(SB), NOSPLIT, $0-68
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ stride+48(FP), R8
+	MOVQ nblk+56(FP), CX
+	VBROADCASTSS alpha+64(FP), Y15
+
+	SHLQ $2, R8               // row stride in bytes
+	LEAQ (SI)(R8*1), R9       // row 1
+	LEAQ (R9)(R8*1), R10      // row 2
+	LEAQ (R10)(R8*1), R11     // row 3
+	LEAQ (R11)(R8*1), R12     // row 4
+	LEAQ (R12)(R8*1), R13     // row 5
+	LEAQ (R13)(R8*1), R14     // row 6
+	LEAQ (R14)(R8*1), R15     // row 7
+
+packloop:
+	VMOVUPS (SI), Y0
+	VMOVUPS (R9), Y1
+	VMOVUPS (R10), Y2
+	VMOVUPS (R11), Y3
+	VMOVUPS (R12), Y4
+	VMOVUPS (R13), Y5
+	VMOVUPS (R14), Y6
+	VMOVUPS (R15), Y7
+
+	// Stage 1: interleave row pairs.
+	// L01 = {r00,r10,r01,r11 | r04,r14,r05,r15}, H01 likewise for cols 2,3,6,7.
+	VUNPCKLPS Y1, Y0, Y8      // L01
+	VUNPCKHPS Y1, Y0, Y9      // H01
+	VUNPCKLPS Y3, Y2, Y10     // L23
+	VUNPCKHPS Y3, Y2, Y11     // H23
+	VUNPCKLPS Y5, Y4, Y12     // L45
+	VUNPCKHPS Y5, Y4, Y13     // H45
+	VUNPCKLPS Y7, Y6, Y14     // L67
+	VUNPCKHPS Y7, Y6, Y0      // H67 (row regs now free)
+
+	// Stage 2: gather 4-row column quartets per 128-bit lane.
+	VSHUFPS $0x44, Y10, Y8, Y1   // col0 rows0-3 | col4 rows0-3
+	VSHUFPS $0xEE, Y10, Y8, Y2   // col1 | col5
+	VSHUFPS $0x44, Y11, Y9, Y3   // col2 | col6
+	VSHUFPS $0xEE, Y11, Y9, Y4   // col3 | col7
+	VSHUFPS $0x44, Y14, Y12, Y5  // col0 rows4-7 | col4 rows4-7
+	VSHUFPS $0xEE, Y14, Y12, Y6  // col1 | col5
+	VSHUFPS $0x44, Y0, Y13, Y7   // col2 | col6
+	VSHUFPS $0xEE, Y0, Y13, Y8   // col3 | col7
+
+	// Stage 3: fuse lane halves into full 8-row columns.
+	VPERM2F128 $0x20, Y5, Y1, Y9   // col0
+	VPERM2F128 $0x20, Y6, Y2, Y10  // col1
+	VPERM2F128 $0x20, Y7, Y3, Y11  // col2
+	VPERM2F128 $0x20, Y8, Y4, Y12  // col3
+	VPERM2F128 $0x31, Y5, Y1, Y13  // col4
+	VPERM2F128 $0x31, Y6, Y2, Y14  // col5
+	VPERM2F128 $0x31, Y7, Y3, Y0   // col6
+	VPERM2F128 $0x31, Y8, Y4, Y1   // col7
+
+	VMULPS Y15, Y9, Y9
+	VMULPS Y15, Y10, Y10
+	VMULPS Y15, Y11, Y11
+	VMULPS Y15, Y12, Y12
+	VMULPS Y15, Y13, Y13
+	VMULPS Y15, Y14, Y14
+	VMULPS Y15, Y0, Y0
+	VMULPS Y15, Y1, Y1
+
+	VMOVUPS Y9, (DI)
+	VMOVUPS Y10, 32(DI)
+	VMOVUPS Y11, 64(DI)
+	VMOVUPS Y12, 96(DI)
+	VMOVUPS Y13, 128(DI)
+	VMOVUPS Y14, 160(DI)
+	VMOVUPS Y0, 192(DI)
+	VMOVUPS Y1, 224(DI)
+
+	ADDQ $32, SI
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	ADDQ $32, R15
+	ADDQ $256, DI
+	DECQ CX
+	JNZ  packloop
+
+	VZEROUPPER
+	RET

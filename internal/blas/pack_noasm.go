@@ -1,0 +1,18 @@
+//go:build !amd64 || noasm
+
+package blas
+
+// packA8x8 is the portable fallback for the AVX 8×8 transpose pack. It is
+// unreachable in normal dispatch (packA only selects it under hasAVX2FMA)
+// but kept semantically identical for explicit calls and tests.
+func packA8x8(dst, src []float32, stride, nblk int, alpha float32) {
+	for b := 0; b < nblk; b++ {
+		for p := 0; p < 8; p++ {
+			d := b*64 + p*8
+			s := b*8 + p
+			for i := 0; i < 8; i++ {
+				dst[d+i] = alpha * src[s+i*stride]
+			}
+		}
+	}
+}

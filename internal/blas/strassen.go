@@ -1,0 +1,312 @@
+package blas
+
+import (
+	"time"
+
+	"fpmpart/internal/matrix"
+	"fpmpart/internal/telemetry"
+)
+
+// Strassen-Winograd GEMM on top of the packed kernels. Above a crossover
+// size the O(n^2.807) algorithm wins despite its extra O(n^2) additions:
+// each recursion level trades one leaf multiplication (of eight) for 15
+// block additions. This implementation uses the Winograd variant (7
+// multiplications, 15 additions — the minimum known for a 2×2 split) with
+// the Douglas et al. operand schedule, which stages intermediate products
+// in the C quadrants so a level needs only four temporaries: S (mh×kh),
+// T (kh×nh) for operand sums, X and Z (mh×nh) for the two products that
+// cannot live in C. Temporaries come from the panel pool.
+//
+// Odd dimensions are peeled dynamically: the largest even-dimensioned
+// sub-problem runs through Winograd, then up to three thin GemmPacked
+// fix-ups complete the result (a rank-1 accumulate for an odd k, and full
+// edge strips for odd m or n). alpha is folded into the leaf multiplies;
+// beta != 0 is handled once at the top via a staging buffer, so the
+// recursion always overwrites.
+//
+// Numerics: Strassen-type algorithms have a weaker error bound than the
+// classical loop (factors grow ~3x per recursion level). Results are NOT
+// bit-identical to GemmPacked; the differential fuzz target bounds the
+// drift against GemmNaive with a depth-scaled tolerance.
+
+// DefaultStrassenCutoff is the leaf size below which recursion stops and
+// GemmPacked runs directly. Measured on the reference box (single-socket
+// AVX-512): 1024-sized leaves beat recursing further — at 512 the extra
+// O(n^2) addition traffic and the packing overhead of skinny leaves eat
+// the whole saved multiply. n=2048 therefore runs exactly one Winograd
+// level; the advantage compounds at n=4096 and above.
+const DefaultStrassenCutoff = 1024
+
+// strassenMinCutoff bounds how far callers can push recursion down;
+// below this the leaves are smaller than one cache block and the
+// addition traffic dominates by an order of magnitude.
+const strassenMinCutoff = 64
+
+// GemmStrassen computes c = alpha*a*b + beta*c with Strassen-Winograd
+// recursion over GemmPacked leaves, using the active configuration and
+// the default crossover.
+func GemmStrassen(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense, workers int) error {
+	return GemmStrassenWith(alpha, a, b, beta, c, Active(), DefaultStrassenCutoff, workers)
+}
+
+// GemmStrassenWith is GemmStrassen with an explicit configuration and
+// crossover. Problems with any dimension <= cutoff (or alpha == 0) run
+// as a single GemmPacked call; cutoff is clamped to strassenMinCutoff.
+func GemmStrassenWith(alpha float32, a, b *matrix.Dense, beta float32, c *matrix.Dense,
+	cfg Config, cutoff, workers int) error {
+	if err := checkShapes(a, b, c); err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cutoff < strassenMinCutoff {
+		cutoff = strassenMinCutoff
+	}
+	m, k, n := c.Rows, a.Cols, c.Cols
+	if alpha == 0 || m <= cutoff || k <= cutoff || n <= cutoff {
+		return GemmPacked(alpha, a, b, beta, c, cfg, workers)
+	}
+
+	telemetryOn := telemetry.Default().Enabled()
+	var wallStart time.Time
+	if telemetryOn {
+		wallStart = time.Now()
+	}
+	leaves := 0
+
+	var err error
+	if beta == 0 {
+		err = strassenRec(alpha, a, b, c, cfg, cutoff, workers, &leaves)
+	} else {
+		// Stage alpha*a*b in a scratch matrix, then fold beta*c in one
+		// pass; the recursion itself only knows how to overwrite.
+		w, wp := tempDense(m, n)
+		err = strassenRec(alpha, a, b, w, cfg, cutoff, workers, &leaves)
+		if err == nil {
+			applyBetaRange(beta, c, 0, m)
+			addTo(c, w)
+		}
+		putPanelBuf(wp)
+	}
+	if err == nil && telemetryOn {
+		recordStrassen(leaves)
+		_ = wallStart
+	}
+	return err
+}
+
+// strassenRec computes c = alpha*a*b (overwriting c) by Winograd
+// recursion. Shapes are pre-validated.
+func strassenRec(alpha float32, a, b, c *matrix.Dense, cfg Config, cutoff, workers int, leaves *int) error {
+	m, k, n := c.Rows, a.Cols, c.Cols
+	if m <= cutoff || k <= cutoff || n <= cutoff {
+		*leaves++
+		return GemmPacked(alpha, a, b, 0, c, cfg, workers)
+	}
+
+	// Even-dimensioned core; odd remainders are peeled below.
+	m1, k1, n1 := m&^1, k&^1, n&^1
+	mh, kh, nh := m1/2, k1/2, n1/2
+
+	a11 := mustView(a, 0, 0, mh, kh)
+	a12 := mustView(a, 0, kh, mh, kh)
+	a21 := mustView(a, mh, 0, mh, kh)
+	a22 := mustView(a, mh, kh, mh, kh)
+	b11 := mustView(b, 0, 0, kh, nh)
+	b12 := mustView(b, 0, nh, kh, nh)
+	b21 := mustView(b, kh, 0, kh, nh)
+	b22 := mustView(b, kh, nh, kh, nh)
+	c11 := mustView(c, 0, 0, mh, nh)
+	c12 := mustView(c, 0, nh, mh, nh)
+	c21 := mustView(c, mh, 0, mh, nh)
+	c22 := mustView(c, mh, nh, mh, nh)
+
+	s, sp := tempDense(mh, kh)
+	t, tp := tempDense(kh, nh)
+	x, xp := tempDense(mh, nh)
+	z, zp := tempDense(mh, nh)
+	defer func() {
+		putPanelBuf(sp)
+		putPanelBuf(tp)
+		putPanelBuf(xp)
+		putPanelBuf(zp)
+	}()
+
+	rec := func(ra, rb, rc *matrix.Dense) error {
+		return strassenRec(alpha, ra, rb, rc, cfg, cutoff, workers, leaves)
+	}
+
+	// Douglas et al. schedule: products P7,P5,P6,P3 land directly in
+	// C21,C22,C12,C11; P1 and the final pair P4,P2 stage in X and Z.
+	sub(s, a11, a21)                       // S3 = A11 - A21
+	sub(t, b22, b12)                       // T3 = B22 - B12
+	if err := rec(s, t, c21); err != nil { // P7 = S3*T3
+		return err
+	}
+	add(s, a21, a22)                       // S1 = A21 + A22
+	sub(t, b12, b11)                       // T1 = B12 - B11
+	if err := rec(s, t, c22); err != nil { // P5 = S1*T1
+		return err
+	}
+	subTo(s, a11)                          // S2 = S1 - A11
+	revSub(t, b22)                         // T2 = B22 - T1
+	if err := rec(s, t, c12); err != nil { // P6 = S2*T2
+		return err
+	}
+	revSub(s, a12)                           // S4 = A12 - S2
+	if err := rec(s, b22, c11); err != nil { // P3 = S4*B22
+		return err
+	}
+	if err := rec(a11, b11, x); err != nil { // P1 = A11*B11
+		return err
+	}
+	fuseU(c11, c12, c21, c22, x)           // U2..U4 chain in one pass
+	subTo(t, b21)                          // T4 = T2 - B21
+	if err := rec(a22, t, z); err != nil { // P4 = A22*T4
+		return err
+	}
+	subTo(c21, z)                            // C21 = U3 - P4
+	if err := rec(a12, b21, z); err != nil { // P2 = A12*B21
+		return err
+	}
+	add(c11, x, z) // C11 = P1 + P2
+
+	// Dynamic peeling. Order matters only for the k fix-up, which
+	// accumulates onto the even core just computed.
+	if k1 < k {
+		av := mustView(a, 0, k1, m1, 1)
+		bv := mustView(b, k1, 0, 1, n1)
+		cv := mustView(c, 0, 0, m1, n1)
+		if err := GemmPacked(alpha, av, bv, 1, cv, cfg, workers); err != nil {
+			return err
+		}
+	}
+	if n1 < n {
+		bv := mustView(b, 0, n1, k, n-n1)
+		cv := mustView(c, 0, n1, m, n-n1)
+		if err := GemmPacked(alpha, a, bv, 0, cv, cfg, workers); err != nil {
+			return err
+		}
+	}
+	if m1 < m {
+		// Columns n1..n were already covered at full height by the n
+		// fix-up, so this strip only spans the first n1 columns.
+		av := mustView(a, m1, 0, m-m1, k)
+		bv := mustView(b, 0, 0, k, n1)
+		cv := mustView(c, m1, 0, m-m1, n1)
+		if err := GemmPacked(alpha, av, bv, 0, cv, cfg, workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tempDense wraps a pooled buffer as a compact rows×cols matrix. The
+// contents are unspecified; every schedule step fully overwrites its
+// destination before reading it. The caller returns the second value to
+// putPanelBuf when done.
+func tempDense(rows, cols int) (*matrix.Dense, *[]float32) {
+	bp := getPanelBuf(rows * cols)
+	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols, Data: *bp}, bp
+}
+
+// mustView wraps Dense.View for indices derived from the operand shapes,
+// where failure is unreachable.
+func mustView(m *matrix.Dense, i, j, rows, cols int) *matrix.Dense {
+	v, err := m.View(i, j, rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Block additions. All operands have identical Rows/Cols (strides may
+// differ); these are the O(n^2) part of the recursion and run row-wise
+// over contiguous spans.
+
+// fuseU applies the Winograd U-chain in a single sweep. On entry the C
+// quadrants hold C11=P3, C12=P6, C21=P7, C22=P5 and x holds P1; on exit
+// C12 and C22 are final and C21 holds U3 (still pending the -P4 update):
+//
+//	U2  = P1 + P6
+//	U3  = U2 + P7          -> C21
+//	C12 = U2 + P5 + P3
+//	C22 = U3 + P5
+//
+// Run as five separate addTo passes this is 15 block-sized streams of
+// memory traffic; fused it is 8, and on >L2-sized quadrants the O(n^2)
+// term is bandwidth-bound, so the fusion is worth ~2x on the chain.
+func fuseU(c11, c12, c21, c22, x *matrix.Dense) {
+	for i := 0; i < c11.Rows; i++ {
+		p3 := c11.Data[i*c11.Stride : i*c11.Stride+c11.Cols]
+		p6 := c12.Data[i*c12.Stride : i*c12.Stride+len(p3)]
+		p7 := c21.Data[i*c21.Stride : i*c21.Stride+len(p3)]
+		p5 := c22.Data[i*c22.Stride : i*c22.Stride+len(p3)]
+		p1 := x.Data[i*x.Stride : i*x.Stride+len(p3)]
+		for j := range p3 {
+			u2 := p1[j] + p6[j]
+			u3 := u2 + p7[j]
+			p6[j] = u2 + p5[j] + p3[j]
+			p5[j] = u3 + p5[j]
+			p7[j] = u3
+		}
+	}
+}
+
+// add sets dst = x + y.
+func add(dst, x, y *matrix.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		xr := x.Data[i*x.Stride : i*x.Stride+len(d)]
+		yr := y.Data[i*y.Stride : i*y.Stride+len(d)]
+		for j := range d {
+			d[j] = xr[j] + yr[j]
+		}
+	}
+}
+
+// sub sets dst = x - y.
+func sub(dst, x, y *matrix.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		xr := x.Data[i*x.Stride : i*x.Stride+len(d)]
+		yr := y.Data[i*y.Stride : i*y.Stride+len(d)]
+		for j := range d {
+			d[j] = xr[j] - yr[j]
+		}
+	}
+}
+
+// addTo sets dst += x.
+func addTo(dst, x *matrix.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		xr := x.Data[i*x.Stride : i*x.Stride+len(d)]
+		for j := range d {
+			d[j] += xr[j]
+		}
+	}
+}
+
+// subTo sets dst -= x.
+func subTo(dst, x *matrix.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		xr := x.Data[i*x.Stride : i*x.Stride+len(d)]
+		for j := range d {
+			d[j] -= xr[j]
+		}
+	}
+}
+
+// revSub sets dst = x - dst.
+func revSub(dst, x *matrix.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		xr := x.Data[i*x.Stride : i*x.Stride+len(d)]
+		for j := range d {
+			d[j] = xr[j] - d[j]
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package blas
+
+import (
+	"testing"
+
+	"fpmpart/internal/matrix"
+)
+
+// TestStrassenDifferential exercises the Winograd recursion proper —
+// shapes above the minimum cutoff, including odd dimensions that trigger
+// every peeling fix-up — against the reference loop. The tolerance is
+// scaled by depth: Strassen's error bound is a constant factor worse per
+// recursion level than the classical loop.
+func TestStrassenDifferential(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{130, 130, 130}, // one level, even
+		{131, 129, 133}, // one level, all three fix-ups
+		{200, 171, 190}, // two levels, mixed parity at both
+		{260, 64, 260},  // k at the cutoff: leaf despite large m, n
+		{144, 256, 96},  // rectangular
+	}
+	for _, tc := range cases {
+		a := randMat(tc.m, tc.k, int64(tc.m))
+		b := randMat(tc.k, tc.n, int64(tc.n))
+		for _, ab := range []struct{ alpha, beta float32 }{
+			{1, 0}, {2, 0}, {1, 1}, {-0.5, 0.75},
+		} {
+			c := randMat(tc.m, tc.n, 7)
+			want := c.Clone()
+			if err := GemmNaive(ab.alpha, a, b, ab.beta, want); err != nil {
+				t.Fatal(err)
+			}
+			if err := GemmStrassenWith(ab.alpha, a, b, ab.beta, c, DefaultConfig, strassenMinCutoff, 1); err != nil {
+				t.Fatal(err)
+			}
+			tol := 5e-4 * float64(tc.k)
+			if d := matrix.MaxAbsDiff(c, want); d > tol {
+				t.Errorf("%dx%dx%d alpha=%v beta=%v: |strassen - naive| = %v > %v",
+					tc.m, tc.k, tc.n, ab.alpha, ab.beta, d, tol)
+			}
+		}
+	}
+}
+
+// TestStrassenLeafEqualsPacked: at or below the cutoff the call must be
+// exactly one GemmPacked, bit for bit.
+func TestStrassenLeafEqualsPacked(t *testing.T) {
+	a, b := randMat(60, 60, 1), randMat(60, 60, 2)
+	cS := matrix.MustNew(60, 60)
+	cP := matrix.MustNew(60, 60)
+	if err := GemmStrassenWith(1, a, b, 0, cS, DefaultConfig, 128, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := GemmPacked(1, a, b, 0, cP, DefaultConfig, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(cS, cP); d != 0 {
+		t.Errorf("leaf call not bit-identical to GemmPacked: %v", d)
+	}
+}
+
+// TestStrassenCutoffClamp: a cutoff below the minimum is clamped, not an
+// error, and alpha == 0 short-circuits to the beta update.
+func TestStrassenCutoffClamp(t *testing.T) {
+	a, b := randMat(100, 100, 1), randMat(100, 100, 2)
+	c := randMat(100, 100, 3)
+	want := c.Clone()
+	applyBetaRange(0.5, want, 0, 100)
+	if err := GemmStrassenWith(0, a, b, 0.5, c, DefaultConfig, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c, want); d != 0 {
+		t.Errorf("alpha=0 path differs: %v", d)
+	}
+	// Shape errors surface before any work.
+	if err := GemmStrassenWith(1, a, randMat(99, 100, 4), 0, c, DefaultConfig, 512, 1); err == nil {
+		t.Error("mismatched shapes accepted")
+	}
+}
+
+// TestStrassenViews: operands that are strided views of larger parents
+// must work at every recursion level (the quadrant views compound).
+func TestStrassenViews(t *testing.T) {
+	pa := randMat(200, 200, 1)
+	pb := randMat(200, 200, 2)
+	av := mustView(pa, 5, 3, 140, 150)
+	bv := mustView(pb, 7, 11, 150, 130)
+	c := matrix.MustNew(140, 130)
+	want := matrix.MustNew(140, 130)
+	if err := GemmNaive(1, av, bv, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := GemmStrassenWith(1, av, bv, 0, c, DefaultConfig, strassenMinCutoff, 1); err != nil {
+		t.Fatal(err)
+	}
+	tol := 5e-4 * 150
+	if d := matrix.MaxAbsDiff(c, want); d > tol {
+		t.Errorf("strided-view strassen differs by %v", d)
+	}
+}

@@ -23,6 +23,14 @@ type Config struct {
 // allocates to registers with modest spilling. In both cases the A block
 // (~120×256 float32 ≈ 120 KiB) fits mid-size L2 caches and the B
 // micro-panel (256×nr float32) stays in L1 across a panel sweep.
+//
+// The untuned default deliberately does NOT select the AVX-512 tile even
+// when the CPU supports it: on several AVX-512 generations sustained
+// 512-bit FMA drops the core's license frequency, which can slow the rest
+// of a mixed workload. The wider tile is installed by the measurement
+// paths instead — Tune explores it in tuneCandidates, and the small shape
+// class defaults to it (see DefaultSmallConfig) where the latency win on
+// batched serving traffic has been measured.
 var DefaultConfig = defaultConfig()
 
 func defaultConfig() Config {
@@ -30,6 +38,24 @@ func defaultConfig() Config {
 		return Config{MC: 120, KC: 256, NC: 2048, MR: 6, NR: 16}
 	}
 	return Config{MC: 128, KC: 256, NC: 2048, MR: 8, NR: 4}
+}
+
+// DefaultSmallConfig is the untuned configuration for the small shape
+// class (every dimension ≤ SmallSizeMax). With AVX-512 it selects the
+// 8×32 assembly tile: small problems are latency-bound bursts where the
+// doubled register-tile width is a pure win and license-frequency effects
+// do not accumulate. MC/KC are sized so a whole SmallSizeMax problem is a
+// single cache block — no mc fragmentation, B packed exactly once.
+var DefaultSmallConfig = defaultSmallConfig()
+
+func defaultSmallConfig() Config {
+	if hasAVX512 {
+		return Config{MC: 256, KC: 256, NC: 2048, MR: 8, NR: 32}
+	}
+	if hasAVX2FMA {
+		return Config{MC: 258, KC: 256, NC: 2048, MR: 6, NR: 16}
+	}
+	return Config{MC: 256, KC: 256, NC: 2048, MR: 8, NR: 4}
 }
 
 // Validate reports whether the configuration is usable.
@@ -54,11 +80,25 @@ func (c Config) String() string {
 	return fmt.Sprintf("mc%d kc%d nc%d r%dx%d", c.MC, c.KC, c.NC, c.MR, c.NR)
 }
 
-// tuned holds the process-wide autotuned configuration.
+// SmallSizeMax is the boundary of the small shape class: problems whose
+// largest dimension is at most SmallSizeMax select the small-class
+// configuration (ActiveSmall) in ActiveFor and GemmBatch. 256 is where the
+// whole working set (three operands ≤ 256×256 float32 = 768 KiB) still
+// fits mid-size L2 caches, so cache blocking matters less than register
+// tile width and per-call overhead.
+const SmallSizeMax = 256
+
+// tuned holds the process-wide autotuned configurations, one per shape
+// class. The large class is what Tune/SetTuned/Active have always managed;
+// the small class exists because the large-n winner is the wrong tile set
+// for small batched problems (its mc/nc blocking fragments a tiny C and
+// its trial size never measures small-n effects).
 var tuned struct {
-	mu  sync.Mutex
-	cfg Config
-	ok  bool
+	mu      sync.Mutex
+	cfg     Config
+	ok      bool
+	small   Config
+	smallOK bool
 }
 
 // Active returns the configuration the package-level entry points (Gemm,
@@ -73,11 +113,54 @@ func Active() Config {
 	return DefaultConfig
 }
 
+// ActiveSmall returns the small-class configuration: the one installed by
+// TuneSmall or SetTunedSmall, DefaultSmallConfig otherwise.
+func ActiveSmall() Config {
+	tuned.mu.Lock()
+	defer tuned.mu.Unlock()
+	if tuned.smallOK {
+		return tuned.small
+	}
+	return DefaultSmallConfig
+}
+
+// ActiveFor selects the active configuration by shape class: problems
+// whose largest dimension is at most SmallSizeMax get the small-class
+// configuration, everything else the process-wide large-class one. This is
+// what GemmBatch uses per shape group; callers sizing individual Gemm
+// calls can use it the same way with GemmPacked.
+func ActiveFor(m, k, n int) Config {
+	if m <= SmallSizeMax && k <= SmallSizeMax && n <= SmallSizeMax {
+		return ActiveSmall()
+	}
+	return Active()
+}
+
 // Tuned reports the cached autotuned configuration, if any.
 func Tuned() (Config, bool) {
 	tuned.mu.Lock()
 	defer tuned.mu.Unlock()
 	return tuned.cfg, tuned.ok
+}
+
+// TunedSmall reports the cached small-class configuration, if any.
+func TunedSmall() (Config, bool) {
+	tuned.mu.Lock()
+	defer tuned.mu.Unlock()
+	return tuned.small, tuned.smallOK
+}
+
+// SetTunedSmall installs cfg as the small-class configuration. It replaces
+// any earlier TuneSmall result.
+func SetTunedSmall(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	tuned.mu.Lock()
+	tuned.small, tuned.smallOK = cfg, true
+	tuned.mu.Unlock()
+	recordTuned(cfg)
+	return nil
 }
 
 // SetTuned installs cfg as the process-wide configuration (e.g. one
@@ -119,11 +202,40 @@ func tuneCandidates() []Config {
 		// put the trial budget into its cache blockings instead.
 		tiles = [][2]int{{6, 16}, {8, 8}, {8, 4}}
 	}
+	if hasAVX512 {
+		// The 512-bit tile usually wins outright, but keep the AVX2 tile in
+		// the race: on license-frequency-limited parts the narrower tile can
+		// still come out ahead, and the trial measures exactly that.
+		tiles = [][2]int{{8, 32}, {6, 16}, {8, 8}}
+	}
 	var out []Config
 	for _, rt := range tiles {
 		mr, nr := rt[0], rt[1]
-		for _, cb := range [][2]int{{64, 256}, {128, 256}, {256, 256}, {128, 512}} {
+		for _, cb := range [][2]int{{64, 256}, {128, 256}, {256, 256}, {128, 512}, {96, 384}} {
 			mc := cb[0] - cb[0]%mr
+			nc := 2048 - 2048%nr
+			out = append(out, Config{MC: mc, KC: cb[1], NC: nc, MR: mr, NR: nr})
+		}
+	}
+	return out
+}
+
+// smallTuneCandidates is the small-class search space: the same register
+// tiles with cache blockings that keep a SmallSizeMax problem in one or
+// two blocks (large mc/kc, so packing runs once and C is not fragmented).
+func smallTuneCandidates() []Config {
+	tiles := [][2]int{{8, 4}, {8, 8}, {4, 8}}
+	if hasAVX2FMA {
+		tiles = [][2]int{{6, 16}, {8, 8}}
+	}
+	if hasAVX512 {
+		tiles = [][2]int{{8, 32}, {6, 16}}
+	}
+	var out []Config
+	for _, rt := range tiles {
+		mr, nr := rt[0], rt[1]
+		for _, cb := range [][2]int{{256, 256}, {256, 128}, {128, 256}} {
+			mc := cb[0] + (mr-cb[0]%mr)%mr // round UP so mc covers the class
 			nc := 2048 - 2048%nr
 			out = append(out, Config{MC: mc, KC: cb[1], NC: nc, MR: mr, NR: nr})
 		}
@@ -143,12 +255,6 @@ func TuneWith(opts TuneOptions) (Config, error) {
 	if opts.N <= 0 {
 		opts.N = 256
 	}
-	if opts.Reps <= 0 {
-		opts.Reps = 2
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
 	tuned.mu.Lock()
 	if tuned.ok {
 		cfg := tuned.cfg
@@ -157,6 +263,65 @@ func TuneWith(opts TuneOptions) (Config, error) {
 	}
 	tuned.mu.Unlock()
 
+	best, err := runTuneTrials(tuneCandidates(), opts)
+	if err != nil {
+		return Config{}, err
+	}
+
+	tuned.mu.Lock()
+	// Another goroutine may have raced us here; first writer wins so every
+	// caller observes one stable configuration.
+	if !tuned.ok {
+		tuned.cfg, tuned.ok = best, true
+	} else {
+		best = tuned.cfg
+	}
+	tuned.mu.Unlock()
+	return best, nil
+}
+
+// TuneSmall is Tune for the small shape class: it times the small-class
+// candidates on a SmallSizeMax/2 trial problem, installs the winner as the
+// class configuration, and caches the result.
+func TuneSmall() (Config, error) { return TuneSmallWith(TuneOptions{}) }
+
+// TuneSmallWith is TuneSmall with an explicit trial budget.
+func TuneSmallWith(opts TuneOptions) (Config, error) {
+	if opts.N <= 0 {
+		opts.N = SmallSizeMax / 2
+	}
+	tuned.mu.Lock()
+	if tuned.smallOK {
+		cfg := tuned.small
+		tuned.mu.Unlock()
+		return cfg, nil
+	}
+	tuned.mu.Unlock()
+
+	best, err := runTuneTrials(smallTuneCandidates(), opts)
+	if err != nil {
+		return Config{}, err
+	}
+
+	tuned.mu.Lock()
+	if !tuned.smallOK {
+		tuned.small, tuned.smallOK = best, true
+	} else {
+		best = tuned.small
+	}
+	tuned.mu.Unlock()
+	return best, nil
+}
+
+// runTuneTrials times every candidate on a seeded n×n trial and returns
+// the fastest.
+func runTuneTrials(cands []Config, opts TuneOptions) (Config, error) {
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
 	n := opts.N
 	a := matrix.MustNew(n, n)
 	b := matrix.MustNew(n, n)
@@ -167,7 +332,7 @@ func TuneWith(opts TuneOptions) (Config, error) {
 	start := time.Now()
 	best := Config{}
 	bestSec := 0.0
-	for _, cand := range tuneCandidates() {
+	for _, cand := range cands {
 		if err := cand.Validate(); err != nil {
 			return Config{}, err
 		}
@@ -181,16 +346,6 @@ func TuneWith(opts TuneOptions) (Config, error) {
 	}
 	flops := 2 * float64(n) * float64(n) * float64(n)
 	recordTune(best, bestSec, flops/bestSec/1e9, time.Since(start).Seconds())
-
-	tuned.mu.Lock()
-	// Another goroutine may have raced us here; first writer wins so every
-	// caller observes one stable configuration.
-	if !tuned.ok {
-		tuned.cfg, tuned.ok = best, true
-	} else {
-		best = tuned.cfg
-	}
-	tuned.mu.Unlock()
 	return best, nil
 }
 
