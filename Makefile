@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck clean
+.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck fpmd-cluster-smoke fpmd-cluster-bench clean
 
 all: build test
 
@@ -81,6 +81,18 @@ fpmd-smoke:
 # smoke test (~30s); not part of `check`.
 fpmd-selfcheck:
 	$(GO) run ./cmd/fpmd -selfcheck
+
+# Cluster end-to-end check: spawn 3 fpmd members, PUT a model to one, assert
+# it replicates to all three and that partition answers originate from every
+# member (consistent-hash ownership + forwarding), drain cleanly.
+fpmd-cluster-smoke:
+	$(GO) run ./cmd/fpmd -cluster-smoke
+
+# Cluster scaling + rolling-restart bench; writes BENCH_<date>-cluster.json.
+# See runClusterBench in cmd/fpmd for the capacity model it uses on 1-core
+# hosts.
+fpmd-cluster-bench:
+	$(GO) run ./cmd/fpmd -cluster-bench
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -13,6 +13,17 @@
 //	                                           partition, scrape /metrics, drain
 //	fpmd -selfcheck                            serving acceptance check: load,
 //	                                           shed and SIGTERM-drain phases
+//
+// Cluster mode (see internal/clusterd): N instances shard the solution
+// cache and solve work by consistent hashing and replicate models
+// peer-to-peer. Each member runs with its own advertised URL and the full
+// member list:
+//
+//	fpmd -addr :8081 -self http://10.0.0.1:8081 \
+//	     -peers http://10.0.0.1:8081,http://10.0.0.2:8081,http://10.0.0.3:8081
+//	fpmd -cluster-smoke                        3-member end-to-end check and exit
+//	fpmd -cluster-bench                        scaling + rolling-restart bench,
+//	                                           writes BENCH_<date>-cluster.json
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"time"
 
 	"fpmpart/internal/cliutil"
+	"fpmpart/internal/clusterd"
 	"fpmpart/internal/service"
 	"fpmpart/internal/telemetry"
 )
@@ -53,6 +65,15 @@ func main() {
 		selfcheck  = flag.Bool("selfcheck", false, "run the serving acceptance check and exit")
 		clients    = flag.Int("selfcheck-clients", 128, "concurrent clients in the selfcheck load phases")
 		inflight   = flag.Int("selfcheck-inflight", 1000, "concurrent requests held across the selfcheck SIGTERM drain")
+
+		self         = flag.String("self", "", "this member's advertised base URL; enables cluster mode with -peers")
+		peers        = flag.String("peers", "", "comma-separated member base URLs (self included; it is filtered out)")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = clusterd default)")
+		clusterSmoke = flag.Bool("cluster-smoke", false, "spawn a 3-member cluster of this binary, check replication+routing, exit")
+		clusterBench = flag.Bool("cluster-bench", false, "run the cluster scaling and rolling-restart bench, write BENCH_<date>-cluster.json")
+		benchOut     = flag.String("bench-out", "", "cluster bench output path (default BENCH_<date>-cluster.json)")
+		benchCap     = flag.Int("bench-capacity", 0, "bench harness: admission width for /v1/partition (0 = off; used by -cluster-bench children)")
+		benchFloor   = flag.Duration("bench-floor", 0, "bench harness: minimum slot hold per admitted partition request")
 	)
 	var logFlags cliutil.LogFlags
 	logFlags.Register()
@@ -76,13 +97,31 @@ func main() {
 		EnablePprof:           *pprofOn,
 		Logger:                logger,
 	}
+	var cl *clusterd.Cluster
+	if *self != "" {
+		cl, err = clusterd.New(clusterd.Options{
+			Self:   *self,
+			Peers:  splitPeers(*peers),
+			VNodes: *vnodes,
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpmd:", err)
+			os.Exit(1)
+		}
+		cfg.Cluster = cl
+	}
 	switch {
 	case *smoke:
 		err = runSmoke()
+	case *clusterSmoke:
+		err = runClusterSmoke()
+	case *clusterBench:
+		err = runClusterBench(*benchOut)
 	case *selfcheck:
 		err = runSelfcheck(*clients, *inflight)
 	default:
-		err = serve(cfg, *addr, *drainTO, logger, *runtimeInt)
+		err = serve(cfg, cl, *addr, *drainTO, logger, *runtimeInt, *benchCap, *benchFloor)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpmd:", err)
@@ -90,10 +129,27 @@ func main() {
 	}
 }
 
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains: the health
 // endpoint flips to 503 so load balancers stop routing, the listener closes,
 // and every accepted request finishes (bounded by drainTO) before exit.
-func serve(cfg service.Config, addr string, drainTO time.Duration, logger *slog.Logger, runtimeInt time.Duration) error {
+//
+// In cluster mode (cl != nil) the member probes its peers and pulls newer
+// model generations BEFORE the listener opens — a restarted member must not
+// serve a stale-generation answer — and the cluster's replication/state
+// routes are mounted next to the service routes.
+func serve(cfg service.Config, cl *clusterd.Cluster, addr string, drainTO time.Duration, logger *slog.Logger, runtimeInt time.Duration, benchCap int, benchFloor time.Duration) error {
 	s, err := service.New(cfg)
 	if err != nil {
 		return err
@@ -102,13 +158,29 @@ func serve(cfg service.Config, addr string, drainTO time.Duration, logger *slog.
 		stop := telemetry.Default().StartRuntimeCollector(runtimeInt)
 		defer stop()
 	}
-	bound, drain, err := s.Serve(addr)
+	h := s.Handler()
+	if cl != nil {
+		cl.Attach(s)
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := cl.Start(sctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("cluster start: %w", err)
+		}
+		defer cl.Stop()
+		h = cl.Handler(h)
+	}
+	if benchCap > 0 && benchFloor > 0 {
+		h = capacityLimit(h, benchCap, benchFloor)
+	}
+	bound, drain, err := s.ServeHandler(addr, h)
 	if err != nil {
 		return err
 	}
 	logger.Info("serving",
 		slog.String("addr", bound),
 		slog.Int("models", s.Models.Len()),
+		slog.Bool("cluster", cl != nil),
 		slog.Bool("pprof", cfg.EnablePprof),
 		slog.Bool("tracing", !cfg.DisableRequestTracing))
 
@@ -125,6 +197,31 @@ func serve(cfg service.Config, addr string, drainTO time.Duration, logger *slog.
 	}
 	logger.Info("drained cleanly")
 	return nil
+}
+
+// capacityLimit models a fixed per-instance serving capacity for the cluster
+// bench: each admitted /v1/partition request holds one of `width` slots for
+// at least `floor`, capping the instance at width/floor requests per second
+// no matter how fast the warm cache answers. On this single-core CI box the
+// cluster members cannot scale by using more CPUs, so the scaling claim is
+// made against this explicit capacity model instead (the same approach the
+// PR-2 latency-bound benchmarks take); on real hardware the flags stay off
+// and the solver itself is the capacity.
+func capacityLimit(h http.Handler, width int, floor time.Duration) http.Handler {
+	slots := make(chan struct{}, width)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/partition" {
+			slots <- struct{}{}
+			start := time.Now()
+			defer func() {
+				if d := floor - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+				<-slots
+			}()
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // syncBuffer is a mutex-guarded bytes.Buffer: the smoke check's log sink,

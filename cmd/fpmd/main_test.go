@@ -1,0 +1,182 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"fpmpart/internal/clusterd"
+	"fpmpart/internal/service"
+	"fpmpart/internal/telemetry"
+)
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" http://a:1 ,,http://b:2,")
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitPeers = %v, want %v", got, want)
+	}
+	if splitPeers("") != nil {
+		t.Fatal("empty -peers must yield nil")
+	}
+}
+
+// TestCapacityLimit pins the bench capacity model: width slots, each held at
+// least floor, so k admitted partition requests serialize to ≥ ceil(k/width)
+// × floor wall time, while non-partition routes pass through unthrottled.
+func TestCapacityLimit(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	const width, floor = 1, 40 * time.Millisecond
+	h := capacityLimit(inner, width, floor)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/partition", "application/json", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 3*floor {
+		t.Errorf("3 requests through width-1/floor-%v finished in %v; capacity not enforced", floor, elapsed)
+	}
+
+	start = time.Now()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > floor {
+		t.Errorf("non-partition route took %v; must bypass the capacity gate", elapsed)
+	}
+}
+
+// TestRunSmoke executes the full single-daemon smoke in-process: boot,
+// upload, partition, flight-recorder + log correlation, pprof, metrics
+// scrape, drain.
+func TestRunSmoke(t *testing.T) {
+	prev := telemetry.Default().Enabled()
+	telemetry.Default().SetEnabled(true)
+	defer telemetry.Default().SetEnabled(prev)
+	if err := runSmoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildFpmd compiles the real binary once per test run for the cluster
+// modes to spawn (the test binary itself would parse -test.* flags).
+var buildOnce sync.Once
+var builtExe string
+var buildErr error
+
+func buildFpmd(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fpmd-test-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtExe = filepath.Join(dir, "fpmd")
+		out, err := exec.Command("go", "build", "-o", builtExe, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			builtExe = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Skipf("cannot build fpmd binary (%v: %s); skipping process-level cluster test", buildErr, builtExe)
+	}
+	return builtExe
+}
+
+// TestClusterSmokeEndToEnd runs the -cluster-smoke mode — real child
+// processes, real sockets, real SIGTERM drains — exactly as CI's
+// fpmd-cluster-smoke step does.
+func TestClusterSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 3 child processes")
+	}
+	exe := buildFpmd(t)
+	prevExe := executablePath
+	executablePath = func() (string, error) { return exe, nil }
+	defer func() { executablePath = prevExe }()
+	if err := runClusterSmoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeClusterSIGTERM covers the daemon serve path in cluster mode: a
+// single-member cluster boots (anti-entropy before listen), serves a
+// request through the capacity wrapper, then a real SIGTERM drains it.
+func TestServeClusterSIGTERM(t *testing.T) {
+	addrs, err := pickPorts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://" + addrs[0]
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cl, err := clusterd.New(clusterd.Options{Self: self, Peers: []string{self}, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := service.Config{
+		ModelDir:              t.TempDir(),
+		Cluster:               cl,
+		DisableRequestTracing: true,
+		Logger:                logger,
+	}
+	var served atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(cfg, cl, addrs[0], 10*time.Second, logger, 0, 4, time.Millisecond)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !served.Load() {
+		resp, err := http.Get(self + "/cluster/v1/state")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				served.Store(true)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !served.Load() {
+		t.Fatal("cluster serve never answered /cluster/v1/state")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain after SIGTERM")
+	}
+}

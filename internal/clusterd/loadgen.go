@@ -1,0 +1,401 @@
+package clusterd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpmpart/internal/service"
+)
+
+// The cluster-aware load generator. Where service.RunLoad drives one
+// daemon, this one drives N: it discovers model generations and membership
+// from /cluster/v1/state, routes each request to the key's ring owner the
+// way a smart client (or consistent-hash LB) would, and retries a request
+// on the next peer when one is down — which is what makes the rolling-
+// restart zero-drop claim measurable from the outside.
+
+// LoadOptions configures one cluster load run.
+type LoadOptions struct {
+	// Peers are the cluster members' base URLs (at least one).
+	Peers []string
+	// Clients is the number of concurrent clients. Default 32.
+	Clients int
+	// Keys is how many distinct solution keys the run touches. Default 64.
+	Keys int
+	// Models are the registered model ids each request partitions over.
+	Models []string
+	// BaseN is the smallest problem size; key i solves BaseN+i. Default 100000.
+	BaseN int
+	// Duration is the measured warm window after priming. Default 3s.
+	Duration time.Duration
+	// RouteByKey routes each request to the key's ring owner (smart
+	// client). False round-robins across peers, exercising the forward
+	// path instead. Default true is set by withDefaults via routeSet.
+	RouteByKey bool
+	// VNodes must match the cluster's ring configuration. 0 = DefaultVNodes.
+	VNodes int
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 32
+	}
+	if o.Keys <= 0 {
+		o.Keys = 64
+	}
+	if o.BaseN <= 0 {
+		o.BaseN = 100000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	return o
+}
+
+// LoadReport is the outcome of one cluster load run.
+type LoadReport struct {
+	Peers         int           `json:"peers"`
+	Requests      int           `json:"requests"`
+	Errors        int           `json:"errors"`
+	Rejected      int           `json:"rejected_429"`
+	Seconds       float64       `json:"seconds"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	P50           time.Duration `json:"p50_ns"`
+	P99           time.Duration `json:"p99_ns"`
+	CacheHitRate  float64       `json:"cache_hit_rate"`
+	// PerPeer counts which origin actually served each answer — the
+	// cluster smoke asserts every member owns a share of the key space.
+	PerPeer map[string]int `json:"per_peer"`
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("%d peers: %d reqs in %.2fs = %.0f req/s (p50=%v p99=%v, hit rate %.1f%%, errors=%d, 429=%d)",
+		r.Peers, r.Requests, r.Seconds, r.ThroughputRPS, r.P50, r.P99, 100*r.CacheHitRate, r.Errors, r.Rejected)
+}
+
+// partitionResult is the slice of the fpmd response the loadgen inspects.
+type partitionResult struct {
+	Cached    bool     `json:"cached"`
+	Coalesced bool     `json:"coalesced"`
+	Origin    string   `json:"origin"`
+	ModelGens []uint64 `json:"model_generations"`
+}
+
+type clusterClient struct {
+	peers  []string
+	ring   *Ring
+	models []service.ModelInfo
+	ids    []string
+	http   *http.Client
+}
+
+// newClusterClient discovers model generations from the first peer that
+// answers /cluster/v1/state and builds the client-side ring.
+func newClusterClient(ctx context.Context, peers []string, ids []string, vnodes int) (*clusterClient, error) {
+	hc := &http.Client{Timeout: 60 * time.Second, Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	var st *stateResponse
+	var err error
+	for _, p := range peers {
+		if st, err = fetchState(ctx, hc, p); err == nil {
+			break
+		}
+	}
+	if st == nil {
+		return nil, fmt.Errorf("clusterd: no peer answered /cluster/v1/state: %w", err)
+	}
+	gens := map[string]uint64{}
+	for _, mi := range st.Models {
+		gens[mi.ID] = mi.Gen
+	}
+	models := make([]service.ModelInfo, len(ids))
+	for i, id := range ids {
+		g, ok := gens[id]
+		if !ok {
+			return nil, fmt.Errorf("clusterd: model %q not in cluster state", id)
+		}
+		models[i] = service.ModelInfo{ID: id, Gen: g}
+	}
+	if vnodes <= 0 {
+		vnodes = st.VNodes
+	}
+	return &clusterClient{
+		peers:  peers,
+		ring:   NewRing(peers, vnodes),
+		models: models,
+		ids:    ids,
+		http:   hc,
+	}, nil
+}
+
+// target picks the peer for key i: its ring owner when routing by key,
+// else peer i mod N.
+func (cc *clusterClient) target(i, n int, routeByKey bool) string {
+	if routeByKey {
+		key := service.SolutionKey(cc.models, nil, n, 0, 0, 0, false)
+		return cc.ring.Owner(key)
+	}
+	return cc.peers[i%len(cc.peers)]
+}
+
+// post sends one partition request to peer. Transport failures return err;
+// HTTP failures return the status.
+func (cc *clusterClient) post(ctx context.Context, peer string, n int) (status int, lat time.Duration, res partitionResult, err error) {
+	body, _ := json.Marshal(map[string]any{"models": cc.ids, "n": n})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, res, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := cc.http.Do(req)
+	if err != nil {
+		return 0, time.Since(start), res, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	lat = time.Since(start)
+	if rerr != nil {
+		return 0, lat, res, rerr
+	}
+	if resp.StatusCode == http.StatusOK {
+		_ = json.Unmarshal(data, &res)
+	}
+	return resp.StatusCode, lat, res, nil
+}
+
+// RunClusterLoad primes every key once, then hammers the cluster for the
+// configured window and reports aggregate warm throughput.
+func RunClusterLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	opts = opts.withDefaults()
+	if len(opts.Peers) == 0 || len(opts.Models) == 0 {
+		return LoadReport{}, fmt.Errorf("clusterd: load run needs peers and model ids")
+	}
+	cc, err := newClusterClient(ctx, opts.Peers, opts.Models, opts.VNodes)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	rep := LoadReport{Peers: len(opts.Peers), PerPeer: map[string]int{}}
+
+	// Prime: one solve per key, routed like the measured phase will be.
+	for i := 0; i < opts.Keys; i++ {
+		peer := cc.target(i, opts.BaseN+i, opts.RouteByKey)
+		if status, _, _, err := cc.post(ctx, peer, opts.BaseN+i); err != nil || status != http.StatusOK {
+			if err == nil {
+				err = fmt.Errorf("status %d", status)
+			}
+			return rep, fmt.Errorf("prime key %d on %s: %w", i, peer, err)
+		}
+	}
+
+	// Warm window: clients cycle the keys until the clock runs out.
+	var mu sync.Mutex
+	var lats []time.Duration
+	var cached int
+	deadline := time.Now().Add(opts.Duration)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < opts.Clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				i := int(next.Add(1)-1) % opts.Keys
+				n := opts.BaseN + i
+				peer := cc.target(i, n, opts.RouteByKey)
+				status, lat, res, err := cc.post(ctx, peer, n)
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.Errors++
+				case status == http.StatusTooManyRequests:
+					rep.Rejected++
+				case status != http.StatusOK:
+					rep.Errors++
+				default:
+					rep.Requests++
+					lats = append(lats, lat)
+					if res.Cached || res.Coalesced {
+						cached++
+					}
+					origin := res.Origin
+					if origin == "" {
+						origin = peer
+					}
+					rep.PerPeer[origin]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Seconds = time.Since(start).Seconds()
+	if rep.Seconds > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / rep.Seconds
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	rep.P50 = percentile(lats, 0.50)
+	rep.P99 = percentile(lats, 0.99)
+	if rep.Requests > 0 {
+		rep.CacheHitRate = float64(cached) / float64(rep.Requests)
+	}
+	return rep, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RollingOptions configures a fixed-rate run across a cluster whose
+// members are being restarted underneath it.
+type RollingOptions struct {
+	Peers []string
+	// RPS is the fixed aggregate request rate. Default 200.
+	RPS int
+	// Keys, Models, BaseN as in LoadOptions.
+	Keys   int
+	Models []string
+	BaseN  int
+	// MinGens, parallel to Models, holds per-model generation floors, read
+	// at each request start; a 200 answer carrying a generation below its
+	// model's floor counts as stale. The rolling-restart check bumps a
+	// floor only after an update has provably replicated everywhere, so any
+	// stale count is a genuine consistency bug. Nil (or a nil entry) skips
+	// the check for that model.
+	MinGens []*atomic.Uint64
+	// VNodes must match the cluster ring. 0 = DefaultVNodes.
+	VNodes int
+}
+
+// RollingReport is the outcome of a rolling-restart run. Dropped counts
+// requests that failed on every peer (transport errors after retries) plus
+// non-429 HTTP errors — the quantity the acceptance criteria pins to zero.
+type RollingReport struct {
+	Fired       int `json:"fired"`
+	Completed   int `json:"completed"`
+	Rejected429 int `json:"rejected_429"`
+	Dropped     int `json:"dropped"`
+	Retried     int `json:"retried"`
+	StaleGen    int `json:"stale_generation_answers"`
+}
+
+func (r RollingReport) String() string {
+	return fmt.Sprintf("fired=%d completed=%d 429=%d dropped=%d retried=%d stale_gen=%d",
+		r.Fired, r.Completed, r.Rejected429, r.Dropped, r.Retried, r.StaleGen)
+}
+
+// RunRolling fires requests at a fixed rate until ctx is cancelled,
+// spreading them round-robin across peers. When a peer refuses or errors,
+// the request is retried on the next peer (every member can serve every
+// key, so the retry is safe and idempotent) — only a request no peer could
+// answer counts as dropped. Returns when ctx ends and all in-flight
+// requests have resolved.
+func RunRolling(ctx context.Context, opts RollingOptions) (RollingReport, error) {
+	if opts.RPS <= 0 {
+		opts.RPS = 200
+	}
+	if opts.Keys <= 0 {
+		opts.Keys = 64
+	}
+	if opts.BaseN <= 0 {
+		opts.BaseN = 100000
+	}
+	if len(opts.Peers) == 0 || len(opts.Models) == 0 {
+		return RollingReport{}, fmt.Errorf("clusterd: rolling run needs peers and model ids")
+	}
+	cc, err := newClusterClient(ctx, opts.Peers, opts.Models, opts.VNodes)
+	if err != nil {
+		return RollingReport{}, err
+	}
+
+	var mu sync.Mutex
+	var rep RollingReport
+	var wg sync.WaitGroup
+	tick := time.NewTicker(time.Second / time.Duration(opts.RPS))
+	defer tick.Stop()
+	i := 0
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return rep, nil
+		case <-tick.C:
+		}
+		idx := i
+		i++
+		mu.Lock()
+		rep.Fired++
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			minGens := make([]uint64, len(opts.Models))
+			for mi := range minGens {
+				if mi < len(opts.MinGens) && opts.MinGens[mi] != nil {
+					minGens[mi] = opts.MinGens[mi].Load()
+				}
+			}
+			n := opts.BaseN + idx%opts.Keys
+			// Requests must finish even after ctx ends (the run is over but
+			// the answer still counts), so the per-request context is
+			// independent of the run context.
+			rctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			var lastErr error
+			for attempt := 0; attempt < len(opts.Peers); attempt++ {
+				peer := opts.Peers[(idx+attempt)%len(opts.Peers)]
+				status, _, res, err := cc.post(rctx, peer, n)
+				if err != nil {
+					lastErr = err
+					mu.Lock()
+					rep.Retried++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				switch {
+				case status == http.StatusOK:
+					rep.Completed++
+					for gi, g := range res.ModelGens {
+						if gi < len(minGens) && g < minGens[gi] {
+							rep.StaleGen++
+							break
+						}
+					}
+				case status == http.StatusTooManyRequests:
+					rep.Rejected429++
+				default:
+					rep.Dropped++
+				}
+				mu.Unlock()
+				return
+			}
+			_ = lastErr
+			mu.Lock()
+			rep.Dropped++
+			mu.Unlock()
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+package clusterd
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunClusterLoad drives the cluster-aware load generator against a real
+// 2-member in-process cluster, in both routing modes: ownership routing
+// (the smart-client path the scaling bench uses) and round-robin (which
+// exercises the forward path). Both must complete a clean warm window.
+func TestRunClusterLoad(t *testing.T) {
+	addrs := pickAddrs(t, 2)
+	peerURLs := []string{"http://" + addrs[0], "http://" + addrs[1]}
+	var members []*member
+	for i, a := range addrs {
+		members = append(members, startMember(t, a, peerURLs, t.TempDir(), 100*time.Millisecond))
+		_ = i
+	}
+	gen := putModelHTTP(t, members[0].base, "m1", 32, 400)
+	for _, m := range members {
+		waitForGen(t, m, "m1", gen)
+	}
+
+	for _, routeByKey := range []bool{true, false} {
+		rep, err := RunClusterLoad(context.Background(), LoadOptions{
+			Peers:      peerURLs,
+			Clients:    4,
+			Keys:       16,
+			Models:     []string{"m1"},
+			BaseN:      40000,
+			Duration:   300 * time.Millisecond,
+			RouteByKey: routeByKey,
+		})
+		if err != nil {
+			t.Fatalf("routeByKey=%v: %v", routeByKey, err)
+		}
+		t.Logf("routeByKey=%v: %s", routeByKey, rep)
+		if rep.Requests == 0 || rep.Errors != 0 || rep.Rejected != 0 {
+			t.Fatalf("routeByKey=%v: bad report %+v", routeByKey, rep)
+		}
+		if rep.CacheHitRate < 0.9 {
+			t.Errorf("routeByKey=%v: warm window hit rate %.2f < 0.9", routeByKey, rep.CacheHitRate)
+		}
+		if rep.P50 <= 0 || rep.P99 < rep.P50 {
+			t.Errorf("routeByKey=%v: bad percentiles p50=%v p99=%v", routeByKey, rep.P50, rep.P99)
+		}
+		// Both origins serve under ownership routing (keys spread across the
+		// ring); the report's String must mention the throughput.
+		if routeByKey && len(rep.PerPeer) != 2 {
+			t.Errorf("ownership routing served from %v, want both members", rep.PerPeer)
+		}
+		if !strings.Contains(rep.String(), "req/s") {
+			t.Errorf("report string %q", rep.String())
+		}
+	}
+
+	// Config validation and defaulting.
+	if _, err := RunClusterLoad(context.Background(), LoadOptions{}); err == nil {
+		t.Error("empty LoadOptions must error")
+	}
+	if _, err := RunRolling(context.Background(), RollingOptions{}); err == nil {
+		t.Error("empty RollingOptions must error")
+	}
+	d := LoadOptions{}.withDefaults()
+	if d.Clients <= 0 || d.Keys <= 0 || d.BaseN <= 0 || d.Duration <= 0 {
+		t.Errorf("withDefaults left zero fields: %+v", d)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("percentile(nil) = %v", got)
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := percentile(sorted, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+}

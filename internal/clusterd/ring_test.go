@@ -1,0 +1,143 @@
+package clusterd
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+// TestRingDistribution pins the load-spread property the vnode count was
+// chosen for: at DefaultVNodes (256, i.e. 128+) every peer owns within 15%
+// of its uniform share of a large key population, across the cluster sizes
+// the daemon is built for.
+func TestRingDistribution(t *testing.T) {
+	const keys = 100_000
+	for _, tc := range []struct {
+		peers, vnodes int
+	}{
+		{2, 256}, {3, 256}, {4, 256}, {5, 256}, {6, 256}, {7, 256}, {8, 256},
+	} {
+		t.Run(fmt.Sprintf("peers=%d,vnodes=%d", tc.peers, tc.vnodes), func(t *testing.T) {
+			peers := testPeers(tc.peers)
+			ring := NewRing(peers, tc.vnodes)
+			counts := map[string]int{}
+			for i := 0; i < keys; i++ {
+				owner := ring.Owner("solution-key-" + strconv.Itoa(i))
+				if owner == "" {
+					t.Fatal("empty owner on non-empty ring")
+				}
+				counts[owner]++
+			}
+			if len(counts) != tc.peers {
+				t.Fatalf("only %d of %d peers own keys: %v", len(counts), tc.peers, counts)
+			}
+			mean := float64(keys) / float64(tc.peers)
+			for p, c := range counts {
+				dev := (float64(c) - mean) / mean
+				if dev < -0.15 || dev > 0.15 {
+					t.Errorf("peer %s owns %d keys, %.1f%% from uniform share %.0f (bound 15%%)",
+						p, c, 100*dev, mean)
+				}
+			}
+		})
+	}
+}
+
+// TestRingJoinMovement pins the minimal-movement property: adding a peer to
+// an N-peer ring moves ≈1/(N+1) of the keys, and every moved key moves TO
+// the new peer — nothing reshuffles between existing peers.
+func TestRingJoinMovement(t *testing.T) {
+	const keys = 50_000
+	for _, n := range []int{2, 3, 7} {
+		t.Run(fmt.Sprintf("join-%d-to-%d", n, n+1), func(t *testing.T) {
+			peers := testPeers(n + 1)
+			before := NewRing(peers[:n], 128)
+			after := NewRing(peers, 128)
+			added := peers[n]
+			moved := 0
+			for i := 0; i < keys; i++ {
+				key := "solution-key-" + strconv.Itoa(i)
+				ob, oa := before.Owner(key), after.Owner(key)
+				if ob == oa {
+					continue
+				}
+				moved++
+				if oa != added {
+					t.Fatalf("key %q moved %s -> %s, not to the joining peer %s", key, ob, oa, added)
+				}
+			}
+			share := float64(keys) / float64(n+1)
+			if f := float64(moved); f < 0.5*share || f > 1.5*share {
+				t.Errorf("join moved %d keys; want ≈%.0f (1/N+1 share, ±50%%)", moved, share)
+			}
+		})
+	}
+}
+
+// TestRingLeaveMovement is the drain-side dual: removing a peer moves only
+// the keys it owned, and existing assignments are untouched.
+func TestRingLeaveMovement(t *testing.T) {
+	const keys = 50_000
+	peers := testPeers(4)
+	before := NewRing(peers, 128)
+	after := NewRing(peers[:3], 128)
+	removed := peers[3]
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := "solution-key-" + strconv.Itoa(i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != removed && ob != oa {
+			t.Fatalf("key %q owned by %s reshuffled to %s when %s left", key, ob, oa, removed)
+		}
+		if ob == removed {
+			moved++
+			if oa == removed {
+				t.Fatalf("key %q still owned by removed peer", key)
+			}
+		}
+	}
+	share := float64(keys) / 4
+	if f := float64(moved); f < 0.5*share || f > 1.5*share {
+		t.Errorf("leave moved %d keys; want ≈%.0f (1/N share, ±50%%)", moved, share)
+	}
+}
+
+// TestRingDeterminism: member order must not matter — every peer builds the
+// identical ring from the same member set, or routing would disagree.
+func TestRingDeterminism(t *testing.T) {
+	peers := testPeers(5)
+	reversed := make([]string, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	a, b := NewRing(peers, 64), NewRing(reversed, 64)
+	for i := 0; i < 10_000; i++ {
+		key := "k" + strconv.Itoa(i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ring depends on member order for key %q", key)
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing and must not panic.
+func TestRingEmpty(t *testing.T) {
+	if owner := NewRing(nil, 128).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owns %q", owner)
+	}
+}
+
+func TestRingPeers(t *testing.T) {
+	peers := testPeers(3)
+	got := NewRing(peers, 16).Peers()
+	if len(got) != 3 {
+		t.Fatalf("Peers() = %v", got)
+	}
+}

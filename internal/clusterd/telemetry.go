@@ -1,0 +1,30 @@
+package clusterd
+
+import (
+	"fpmpart/internal/telemetry"
+)
+
+// Cluster metrics: ring membership, per-peer liveness and probe failures,
+// replication outcomes on both the pushing and the applying side, and
+// anti-entropy pulls. All free while the registry is disabled. Peer labels
+// are bounded by the configured peer list, so cardinality stays small.
+var (
+	ringMembers      = telemetry.Default().Gauge("cluster_ring_members")
+	antiEntropyPulls = telemetry.Default().Counter("cluster_antientropy_pulls_total")
+)
+
+func peerAlive(peer string) *telemetry.Gauge {
+	return telemetry.Default().Gauge("cluster_peer_alive", "peer", peer)
+}
+
+func probeFailures(peer string) *telemetry.Counter {
+	return telemetry.Default().Counter("cluster_probe_failures_total", "peer", peer)
+}
+
+func replicateTotal(peer, outcome string) *telemetry.Counter {
+	return telemetry.Default().Counter("cluster_replicate_total", "peer", peer, "outcome", outcome)
+}
+
+func replicateApplied(result string) *telemetry.Counter {
+	return telemetry.Default().Counter("cluster_replicate_applied_total", "result", result)
+}

@@ -10,12 +10,14 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -37,12 +39,24 @@ type Model struct {
 	PL *fpm.PiecewiseLinear
 	// Gen is the registry generation at which this model was stored. It
 	// changes on every Put, so cache keys that embed it are invalidated
-	// when a model is replaced.
+	// when a model is replaced. In cluster mode generations travel with
+	// replicated models and conflicts resolve highest-wins, so Gen is
+	// comparable across peers.
 	Gen uint64
 	// Inv is a shared time inverter over PL (no cap); handlers use it for
 	// /v1/predict deadline queries. TimeInverter is immutable and safe to
 	// share across requests.
 	Inv *fpm.TimeInverter
+	// Raw is the model's JSON wire form, marshaled once at registration so
+	// GET and peer replication never re-marshal on the hot path.
+	Raw []byte
+}
+
+// ModelInfo is one entry of a registry snapshot: enough for a peer to
+// decide whether its copy of a model is stale (anti-entropy).
+type ModelInfo struct {
+	ID  string `json:"id"`
+	Gen uint64 `json:"gen"`
 }
 
 // Registry is the concurrency-safe model store. When Dir is set, models are
@@ -73,18 +87,78 @@ func (r *Registry) Put(id string, pl *fpm.PiecewiseLinear) (*Model, error) {
 	if pl == nil {
 		return nil, errors.New("service: nil model")
 	}
+	raw, err := pl.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	r.gen++
-	m := &Model{ID: id, PL: pl, Gen: r.gen, Inv: fpm.NewTimeInverter(pl, 0)}
+	m := &Model{ID: id, PL: pl, Gen: r.gen, Inv: fpm.NewTimeInverter(pl, 0), Raw: raw}
 	r.models[id] = m
 	dir := r.dir
 	r.mu.Unlock()
 	if dir != "" {
-		if err := persist(dir, id, pl); err != nil {
+		if err := persist(dir, id, raw, m.Gen); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
+}
+
+// PutAt applies a replicated model carrying an explicit generation.
+// Conflicts resolve highest-wins: the write is applied only when gen exceeds
+// the registered generation (ties broken by comparing the JSON wire forms,
+// so two peers that disagree at the same generation still converge to the
+// same winner). The registry's own counter is bumped to at least gen, so a
+// later local Put cannot mint a generation the cluster has already passed.
+// Returns whether the write was applied.
+func (r *Registry) PutAt(id string, pl *fpm.PiecewiseLinear, gen uint64) (bool, error) {
+	if !ValidID(id) {
+		return false, fmt.Errorf("service: invalid model id %q", id)
+	}
+	if pl == nil {
+		return false, errors.New("service: nil model")
+	}
+	if gen == 0 {
+		return false, errors.New("service: replicated model needs a positive generation")
+	}
+	raw, err := pl.MarshalJSON()
+	if err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	if r.gen < gen {
+		r.gen = gen
+	}
+	if cur, ok := r.models[id]; ok {
+		if gen < cur.Gen || (gen == cur.Gen && bytes.Compare(raw, cur.Raw) <= 0) {
+			r.mu.Unlock()
+			return false, nil
+		}
+	}
+	r.models[id] = &Model{ID: id, PL: pl, Gen: gen, Inv: fpm.NewTimeInverter(pl, 0), Raw: raw}
+	dir := r.dir
+	r.mu.Unlock()
+	if dir != "" {
+		if err := persist(dir, id, raw, gen); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// Snapshot returns (id, generation) for every registered model, sorted by
+// id. Peers exchange snapshots during anti-entropy sweeps to find models
+// they are missing or hold at a stale generation.
+func (r *Registry) Snapshot() []ModelInfo {
+	r.mu.RLock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, ModelInfo{ID: m.ID, Gen: m.Gen})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Get returns the model registered under id, or ErrNotFound.
@@ -111,6 +185,9 @@ func (r *Registry) Delete(id string) error {
 	}
 	if dir != "" {
 		if err := os.Remove(filepath.Join(dir, id+".json")); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if err := os.Remove(filepath.Join(dir, id+".gen")); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
@@ -178,6 +255,7 @@ func (r *Registry) Load() (int, error) {
 			continue
 		}
 		var pl *fpm.PiecewiseLinear
+		var raw []byte
 		switch ext {
 		case ".json":
 			data, err := os.ReadFile(filepath.Join(r.dir, name))
@@ -188,6 +266,7 @@ func (r *Registry) Load() (int, error) {
 			if err := pl.UnmarshalJSON(data); err != nil {
 				return loaded, fmt.Errorf("service: load %s: %w", name, err)
 			}
+			raw = data
 		case ".fpm":
 			f, err := os.Open(filepath.Join(r.dir, name))
 			if err != nil {
@@ -198,29 +277,59 @@ func (r *Registry) Load() (int, error) {
 			if err != nil {
 				return loaded, fmt.Errorf("service: load %s: %w", name, err)
 			}
+			if raw, err = pl.MarshalJSON(); err != nil {
+				return loaded, err
+			}
 		default:
 			continue
 		}
+		// A persisted generation sidecar (written by Put/PutAt) restores the
+		// model's cluster-wide generation across a restart; without it the
+		// model gets a fresh local generation as before.
+		gen := loadGen(r.dir, id)
 		r.mu.Lock()
-		r.gen++
-		r.models[id] = &Model{ID: id, PL: pl, Gen: r.gen, Inv: fpm.NewTimeInverter(pl, 0)}
+		if gen == 0 {
+			r.gen++
+			gen = r.gen
+		} else if r.gen < gen {
+			r.gen = gen
+		}
+		r.models[id] = &Model{ID: id, PL: pl, Gen: gen, Inv: fpm.NewTimeInverter(pl, 0), Raw: raw}
 		r.mu.Unlock()
 		loaded++
 	}
 	return loaded, nil
 }
 
+// loadGen reads the generation sidecar for id, returning 0 when absent or
+// malformed (the caller assigns a fresh local generation).
+func loadGen(dir, id string) uint64 {
+	data, err := os.ReadFile(filepath.Join(dir, id+".gen"))
+	if err != nil {
+		return 0
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return gen
+}
+
 // persist writes the model atomically (temp file + rename) so a crashed
-// daemon never leaves a truncated model behind.
-func persist(dir, id string, pl *fpm.PiecewiseLinear) error {
+// daemon never leaves a truncated model behind, plus a generation sidecar
+// so a restarted daemon rejoins the cluster at the generation it left.
+func persist(dir, id string, raw []byte, gen uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	data, err := pl.MarshalJSON()
-	if err != nil {
+	if err := writeAtomic(dir, id+".json", raw); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, "."+id+".tmp-*")
+	return writeAtomic(dir, id+".gen", []byte(strconv.FormatUint(gen, 10)))
+}
+
+func writeAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -233,5 +342,5 @@ func persist(dir, id string, pl *fpm.PiecewiseLinear) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, id+".json"))
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
 }

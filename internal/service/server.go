@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,7 +14,9 @@ import (
 	"regexp"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +26,38 @@ import (
 	"fpmpart/internal/partition"
 	"fpmpart/internal/telemetry"
 )
+
+// ForwardedHeader marks a partition request that already took its forward
+// hop: the receiving peer serves it locally no matter what its ring says,
+// so transient membership disagreement can never loop a request between
+// peers.
+const ForwardedHeader = "X-Fpmd-Forwarded"
+
+// GenerationHeader carries a model's cluster generation on replication and
+// model-fetch responses.
+const GenerationHeader = "X-Fpmd-Generation"
+
+// ClusterHooks connects the server to an fpmd cluster (internal/clusterd
+// implements it). All methods must be safe for concurrent use. A nil
+// Config.Cluster keeps the original single-node behaviour.
+type ClusterHooks interface {
+	// Self returns this instance's advertised base URL (e.g.
+	// "http://10.0.0.3:8080"), reported as the origin of served responses.
+	Self() string
+	// Owner maps a solution key to the peer owning its cache/solve shard.
+	// self=true means this instance owns the key and serves it locally.
+	Owner(key string) (peer string, self bool)
+	// ForwardPartition proxies a partition request body to peer's
+	// /v1/partition, returning the HTTP status and response body. A non-nil
+	// error is a transport failure — the caller falls back to solving
+	// locally, so a dead owner degrades to extra work, not an error.
+	ForwardPartition(ctx context.Context, peer string, body []byte, requestID string) (int, []byte, error)
+	// ReplicateModel pushes a locally accepted model write to all peers
+	// (asynchronously; generation conflicts resolve highest-wins remotely).
+	ReplicateModel(id string, gen uint64, raw []byte)
+	// ReplicateDelete pushes a locally accepted model delete to all peers.
+	ReplicateDelete(id string)
+}
 
 // Config tunes the service.
 type Config struct {
@@ -55,6 +90,10 @@ type Config struct {
 	// Logger receives structured request/panic logs with trace-ID
 	// correlation. Nil discards them.
 	Logger *slog.Logger
+	// Cluster, when non-nil, turns on cluster mode: solution keys are
+	// routed to their consistent-hash owner, model writes replicate to
+	// peers, and responses carry their origin peer. Nil = single node.
+	Cluster ClusterHooks
 }
 
 func (c Config) withDefaults() Config {
@@ -302,11 +341,42 @@ func (s *Server) recovered(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// jsonBuf is a pooled response-encoding buffer with its encoder pre-bound,
+// so the warm-hit path does not allocate a fresh buffer and encoder per
+// response.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := new(jsonBuf)
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// readBufPool pools request-body buffers: the partition handler keeps the
+// raw bytes around for cluster forwarding, and reusing the buffer keeps the
+// read off the per-request allocation bill.
+var readBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		// Should be unreachable for the response types used here; preserve
+		// the old behaviour (headers out, body lost) without poisoning the
+		// pool.
+		jsonBufPool.Put(jb)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(jb.buf.Bytes())
+	jsonBufPool.Put(jb)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -365,6 +435,9 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "store model: %v", err)
 		return
 	}
+	if c := s.cfg.Cluster; c != nil {
+		c.ReplicateModel(id, m.Gen, m.Raw)
+	}
 	dmin, dmax := pl.Domain()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id": id, "points": len(pl.Points()), "generation": m.Gen,
@@ -378,18 +451,14 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	w.Header().Set(GenerationHeader, strconv.FormatUint(m.Gen, 10))
 	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = m.PL.WriteText(w)
 		return
 	}
-	data, err := m.PL.MarshalJSON()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(data)
+	_, _ = w.Write(m.Raw)
 }
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +470,9 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, "%v", err)
 		return
+	}
+	if c := s.cfg.Cluster; c != nil {
+		c.ReplicateDelete(id)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
@@ -448,6 +520,14 @@ type partitionResponse struct {
 	Cached       bool            `json:"cached"`
 	Coalesced    bool            `json:"coalesced,omitempty"`
 	Layout       *layoutResponse `json:"layout,omitempty"`
+	// ModelGens pins each requested model to the generation the solve used,
+	// in request order. Clients (and the rolling-restart check) use it to
+	// detect stale-generation answers after a model update.
+	ModelGens []uint64 `json:"model_generations,omitempty"`
+	// Origin is the cluster peer that produced the response (cluster mode
+	// only): a forwarded request reports the owner that solved or cached
+	// it, not the peer that accepted the connection.
+	Origin string `json:"origin,omitempty"`
 }
 
 const maxPartitionModels = 256
@@ -489,28 +569,84 @@ func (r *partitionRequest) units() int {
 	return r.N
 }
 
-// cacheKey identifies one solve: model ids pinned to their registry
-// generations, the problem size and every option that changes the answer.
-func (s *Server) cacheKey(req *partitionRequest, models []*Model) string {
-	var b strings.Builder
-	for i, m := range models {
-		fmt.Fprintf(&b, "%s:%d", m.ID, m.Gen)
-		if len(req.Caps) > 0 {
-			fmt.Fprintf(&b, "@%g", req.Caps[i])
-		}
-		b.WriteByte('|')
+// keyScratch pools cache-key build buffers; the key itself escapes as one
+// string allocation (it has to — it is a map key), but the scratch space
+// and the fmt machinery the old builder paid per request do not.
+var keyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+func appendKeyModel(b []byte, id string, gen uint64, cap float64, hasCaps bool) []byte {
+	b = append(b, id...)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, gen, 10)
+	if hasCaps {
+		b = append(b, '@')
+		b = strconv.AppendFloat(b, cap, 'g', -1, 64)
 	}
-	fmt.Fprintf(&b, "n=%d;m=%d;tol=%g;it=%d;lay=%t",
-		req.N, req.Matrix, req.Tolerance, req.MaxIterations, req.Layout)
-	return b.String()
+	return append(b, '|')
+}
+
+func appendKeyOptions(b []byte, n, matrix int, tol float64, maxIter int, layout bool) []byte {
+	b = append(b, "n="...)
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, ";m="...)
+	b = strconv.AppendInt(b, int64(matrix), 10)
+	b = append(b, ";tol="...)
+	b = strconv.AppendFloat(b, tol, 'g', -1, 64)
+	b = append(b, ";it="...)
+	b = strconv.AppendInt(b, int64(maxIter), 10)
+	b = append(b, ";lay="...)
+	return strconv.AppendBool(b, layout)
+}
+
+// solutionKey identifies one solve: model ids pinned to their registry
+// generations, the problem size and every option that changes the answer.
+// In cluster mode it doubles as the consistent-hash routing key.
+func solutionKey(req *partitionRequest, models []*Model) string {
+	bp := keyScratch.Get().(*[]byte)
+	b := (*bp)[:0]
+	for i, m := range models {
+		var cap float64
+		if len(req.Caps) > 0 {
+			cap = req.Caps[i]
+		}
+		b = appendKeyModel(b, m.ID, m.Gen, cap, len(req.Caps) > 0)
+	}
+	b = appendKeyOptions(b, req.N, req.Matrix, req.Tolerance, req.MaxIterations, req.Layout)
+	key := string(b)
+	*bp = b
+	keyScratch.Put(bp)
+	return key
+}
+
+// SolutionKey builds the same routing/cache key the server computes for a
+// partition request over (id, generation) pairs. Cluster-aware clients
+// (internal/clusterd's load generator) use it to route a request straight
+// to the key's owner. Caps may be nil.
+func SolutionKey(models []ModelInfo, caps []float64, n, matrix int, tol float64, maxIter int, layout bool) string {
+	var b []byte
+	for i, m := range models {
+		var cap float64
+		if len(caps) > 0 {
+			cap = caps[i]
+		}
+		b = appendKeyModel(b, m.ID, m.Gen, cap, len(caps) > 0)
+	}
+	return string(appendKeyOptions(b, n, matrix, tol, maxIter, layout))
 }
 
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	s.partitionSeen.Add(1)
 	reqStart := time.Now()
 	ctx := r.Context()
+	rb := readBufPool.Get().(*bytes.Buffer)
+	rb.Reset()
+	defer readBufPool.Put(rb)
+	if _, err := rb.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
 	var req partitionRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(rb.Bytes(), &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
@@ -526,7 +662,13 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := s.cacheKey(&req, models)
+	key := solutionKey(&req, models)
+	cluster := s.cfg.Cluster
+	forwarded := r.Header.Get(ForwardedHeader) != ""
+	if cluster != nil && forwarded {
+		forwardedServed.Inc()
+		telemetry.AnnotateTrace(ctx, "forwarded", "true")
+	}
 	endCache := telemetry.Stage(ctx, "cache")
 	resp, hit := s.cache.get(key)
 	endCache()
@@ -536,11 +678,42 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		warmSeconds.Observe(time.Since(reqStart).Seconds())
 		out := *resp
 		out.Cached = true
+		if cluster != nil {
+			out.Origin = cluster.Self()
+		}
 		s.writeResult(ctx, w, http.StatusOK, &out)
 		return
 	}
 	cacheMisses.Inc()
 	telemetry.AnnotateTrace(ctx, "cache", "miss")
+
+	// Cluster routing: a cache miss for a key another peer owns takes one
+	// forward hop to the owner (which caches it for the whole cluster);
+	// requests that already took their hop are served locally no matter
+	// what, so ring disagreement during membership churn cannot loop. A
+	// transport failure falls back to a local solve — a dead owner costs
+	// duplicated work, never an error.
+	if cluster != nil && !forwarded {
+		if peer, self := cluster.Owner(key); !self {
+			ownershipTotal("peer").Inc()
+			fctx, endForward := telemetry.StartStage(ctx, "forward")
+			telemetry.AnnotateTrace(ctx, "forward_peer", peer)
+			status, body, ferr := cluster.ForwardPartition(fctx, peer, rb.Bytes(), telemetry.TraceFrom(ctx).ID())
+			endForward()
+			if ferr == nil {
+				forwardsTotal("ok").Inc()
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+				w.WriteHeader(status)
+				_, _ = w.Write(body)
+				return
+			}
+			forwardsTotal("fallback").Inc()
+			telemetry.AnnotateTrace(ctx, "forward", "fallback: "+ferr.Error())
+		} else {
+			ownershipTotal("self").Inc()
+		}
+	}
 
 	resp, err, shared := s.flights.doCtx(ctx, key, func() (*partitionResponse, error) {
 		sctx, endSolve := telemetry.StartStage(ctx, "solve")
@@ -585,6 +758,9 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	out := *resp
 	out.Coalesced = shared
+	if cluster != nil {
+		out.Origin = cluster.Self()
+	}
 	s.writeResult(ctx, w, http.StatusOK, &out)
 }
 
@@ -637,6 +813,10 @@ func (s *Server) solve(ctx context.Context, req *partitionRequest, models []*Mod
 		Devices:    make([]deviceShare, len(res.Assignments)),
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
+		ModelGens:  make([]uint64, len(models)),
+	}
+	for i, m := range models {
+		out.ModelGens[i] = m.Gen
 	}
 	for i, a := range res.Assignments {
 		out.Devices[i] = deviceShare{
@@ -770,7 +950,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // and a graceful shutdown (telemetry.ServeHTTP semantics: in-flight requests
 // complete, bounded by the shutdown context).
 func (s *Server) Serve(addr string) (string, func(context.Context) error, error) {
-	bound, shutdown, err := telemetry.ServeHTTP(addr, s.Handler())
+	return s.ServeHandler(addr, s.Handler())
+}
+
+// ServeHandler is Serve with a caller-supplied handler — typically
+// Handler() wrapped with extra routes (the cluster layer mounts its
+// replication and state endpoints this way). The drain still flips
+// /healthz to 503 first so peers and load balancers stop routing here.
+func (s *Server) ServeHandler(addr string, h http.Handler) (string, func(context.Context) error, error) {
+	bound, shutdown, err := telemetry.ServeHTTP(addr, h)
 	if err != nil {
 		return "", nil, err
 	}

@@ -38,6 +38,20 @@ func ServerLatencyQuantile(warm bool, q float64) (value float64, observations ui
 	return h.Quantile(q), h.Count()
 }
 
+// Cluster-mode serving metrics: how often this instance owned the keys it
+// was asked for, how forwards to owners went (ok / fallback-to-local on a
+// transport failure), and how many requests arrived here via a peer's
+// forward hop.
+var forwardedServed = telemetry.Default().Counter("fpmd_forwarded_served_total")
+
+func forwardsTotal(outcome string) *telemetry.Counter {
+	return telemetry.Default().Counter("fpmd_forwards_total", "outcome", outcome)
+}
+
+func ownershipTotal(owner string) *telemetry.Counter {
+	return telemetry.Default().Counter("fpmd_key_ownership_total", "owner", owner)
+}
+
 // requestsTotal returns the counter for one route/status pair. The registry
 // deduplicates identities, so calling this per request is cheap enough for
 // a control-plane API (and free when telemetry is disabled).
