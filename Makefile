@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck fpmd-cluster-smoke fpmd-cluster-bench clean
+.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck fpmd-cluster-smoke fpmd-cluster-bench fpmd-refine-smoke clean
 
 all: build test
 
@@ -93,6 +93,13 @@ fpmd-cluster-smoke:
 # hosts.
 fpmd-cluster-bench:
 	$(GO) run ./cmd/fpmd -cluster-bench
+
+# Online-refinement convergence experiment: a mis-seeded model serves
+# partitions while noisy observe traffic streams into /v1/observe; the
+# refined model must converge to the hidden truth (>=5x mean-error drop)
+# with no stale-generation cache answers. Writes BENCH_<date>-refine.json.
+fpmd-refine-smoke:
+	$(GO) run ./cmd/fpmd -refine-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

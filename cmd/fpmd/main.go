@@ -13,6 +13,11 @@
 //	                                           partition, scrape /metrics, drain
 //	fpmd -selfcheck                            serving acceptance check: load,
 //	                                           shed and SIGTERM-drain phases
+//	fpmd -observe                              also mount POST /v1/observe:
+//	                                           online model refinement from
+//	                                           observed execution times
+//	fpmd -refine-smoke                         refinement convergence check,
+//	                                           writes BENCH_<date>-refine.json
 //
 // Cluster mode (see internal/clusterd): N instances shard the solution
 // cache and solve work by consistent hashing and replicate models
@@ -45,6 +50,7 @@ import (
 
 	"fpmpart/internal/cliutil"
 	"fpmpart/internal/clusterd"
+	"fpmpart/internal/refine"
 	"fpmpart/internal/service"
 	"fpmpart/internal/telemetry"
 )
@@ -66,12 +72,17 @@ func main() {
 		clients    = flag.Int("selfcheck-clients", 128, "concurrent clients in the selfcheck load phases")
 		inflight   = flag.Int("selfcheck-inflight", 1000, "concurrent requests held across the selfcheck SIGTERM drain")
 
+		observeOn   = flag.Bool("observe", false, "mount POST /v1/observe: online model refinement from observed execution times")
+		refMinSamp  = flag.Int("refine-min-samples", 0, "observe: samples per size bucket before its mean can be trusted (0 = refine default)")
+		refCooldown = flag.Duration("refine-cooldown", 0, "observe: minimum interval between published rebuilds of one model (0 = refine default)")
+		refineSmoke = flag.Bool("refine-smoke", false, "run the online-refinement convergence check, write BENCH_<date>-refine.json, exit")
+
 		self         = flag.String("self", "", "this member's advertised base URL; enables cluster mode with -peers")
 		peers        = flag.String("peers", "", "comma-separated member base URLs (self included; it is filtered out)")
 		vnodes       = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = clusterd default)")
 		clusterSmoke = flag.Bool("cluster-smoke", false, "spawn a 3-member cluster of this binary, check replication+routing, exit")
 		clusterBench = flag.Bool("cluster-bench", false, "run the cluster scaling and rolling-restart bench, write BENCH_<date>-cluster.json")
-		benchOut     = flag.String("bench-out", "", "cluster bench output path (default BENCH_<date>-cluster.json)")
+		benchOut     = flag.String("bench-out", "", "bench/experiment output path (default BENCH_<date>-<suite>.json)")
 		benchCap     = flag.Int("bench-capacity", 0, "bench harness: admission width for /v1/partition (0 = off; used by -cluster-bench children)")
 		benchFloor   = flag.Duration("bench-floor", 0, "bench harness: minimum slot hold per admitted partition request")
 	)
@@ -96,6 +107,11 @@ func main() {
 		FlightRecorderSize:    *recorder,
 		EnablePprof:           *pprofOn,
 		Logger:                logger,
+		EnableObserve:         *observeOn,
+		Refine: refine.Config{
+			MinSamples: *refMinSamp,
+			Cooldown:   *refCooldown,
+		},
 	}
 	var cl *clusterd.Cluster
 	if *self != "" {
@@ -118,6 +134,8 @@ func main() {
 		err = runClusterSmoke()
 	case *clusterBench:
 		err = runClusterBench(*benchOut)
+	case *refineSmoke:
+		err = runRefineSmoke(*benchOut)
 	case *selfcheck:
 		err = runSelfcheck(*clients, *inflight)
 	default:
@@ -181,6 +199,7 @@ func serve(cfg service.Config, cl *clusterd.Cluster, addr string, drainTO time.D
 		slog.String("addr", bound),
 		slog.Int("models", s.Models.Len()),
 		slog.Bool("cluster", cl != nil),
+		slog.Bool("observe", cfg.EnableObserve),
 		slog.Bool("pprof", cfg.EnablePprof),
 		slog.Bool("tracing", !cfg.DisableRequestTracing))
 
@@ -259,9 +278,10 @@ func runSmoke() error {
 	var logBuf syncBuffer
 	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	s, err := service.New(service.Config{
-		ModelDir:    dir,
-		EnablePprof: true,
-		Logger:      logger,
+		ModelDir:      dir,
+		EnablePprof:   true,
+		EnableObserve: true,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
@@ -322,6 +342,29 @@ func runSmoke() error {
 		return fmt.Errorf("X-Request-Id echoed as %q, want %q", got, smokeReqID)
 	}
 
+	// Online refinement path: a valid observe batch is accepted, an invalid
+	// one is a clean 400 (client bug, not a server fault).
+	obody, _ := json.Marshal(map[string]any{
+		"model": "smoke",
+		"samples": []map[string]any{
+			{"size": 2000, "seconds": 5.0},
+			{"size": 2000, "seconds": 5.1},
+		},
+	})
+	if err := expectOK(client.Post(base+"/v1/observe", "application/json", bytes.NewReader(obody))); err != nil {
+		return fmt.Errorf("observe: %w", err)
+	}
+	badResp, err := client.Post(base+"/v1/observe", "application/json",
+		strings.NewReader(`{"model":"smoke","samples":[{"size":2000,"seconds":-1}]}`))
+	if err != nil {
+		return fmt.Errorf("observe invalid batch: %w", err)
+	}
+	io.Copy(io.Discard, badResp.Body)
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("invalid observe batch: status %d, want 400", badResp.StatusCode)
+	}
+
 	if err := checkFlightRecorder(client, base, smokeReqID); err != nil {
 		return err
 	}
@@ -353,7 +396,7 @@ func runSmoke() error {
 	if _, err := os.Stat(filepath.Join(dir, "smoke.json")); err != nil {
 		return fmt.Errorf("model not persisted: %w", err)
 	}
-	fmt.Printf("fpmd smoke: OK (addr=%s, partitioned n=5000, trace %s recorded+logged, pprof profiled, metrics scraped, drained)\n",
+	fmt.Printf("fpmd smoke: OK (addr=%s, partitioned n=5000, observed, trace %s recorded+logged, pprof profiled, metrics scraped, drained)\n",
 		bound, smokeReqID)
 	return nil
 }

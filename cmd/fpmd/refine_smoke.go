@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/refine"
+	"fpmpart/internal/service"
+)
+
+// runRefineSmoke is the online-refinement convergence experiment and CI
+// check: a deliberately mis-seeded model (as if benched on a much slower
+// host) serves partitions while synthetic observe traffic — noisy timings
+// drawn from a hidden ground-truth FPM — streams into /v1/observe. The
+// refined model must converge to the truth (mean relative prediction error
+// dropping at least 5x from the seed's), every partition answer must pin a
+// current generation (no stale-generation cache answers), and the refined
+// model must stay inversion-free with a bounded knot count. Results are
+// written to out (default BENCH_<date>-refine.json).
+func runRefineSmoke(out string) error {
+	const (
+		modelID  = "dev"
+		rounds   = 12
+		perSize  = 6
+		n        = 4096
+		cooldown = 50 * time.Millisecond
+	)
+	// Hidden ground truth: a dense synthetic FPM (ramp/plateau/degradation,
+	// peak 500 units/s) the traffic generator times against. The served seed
+	// claims a flat 60 units/s — the kind of mis-seed a model transferred
+	// from a slower machine produces.
+	truth := service.SyntheticModel(256, 500)
+	seed := fpm.MustPiecewiseLinear([]fpm.Point{{Size: 1024, Speed: 60}})
+
+	s, err := service.New(service.Config{
+		EnableObserve: true,
+		Refine:        refine.Config{MinSamples: perSize, Cooldown: cooldown},
+	})
+	if err != nil {
+		return err
+	}
+	bound, drain, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = drain(dctx)
+	}()
+	base := "http://" + bound
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	raw, err := seed.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/models/"+modelID, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if err := expectOK(client.Do(req)); err != nil {
+		return fmt.Errorf("upload seed: %w", err)
+	}
+
+	// Traffic visits a power-of-two grid across the truth's domain; the
+	// reference timings for the accuracy measurements use the same sizes the
+	// traffic can actually teach the model about.
+	var grid []float64
+	for x := 16.0; x <= n; x *= 2 {
+		grid = append(grid, x)
+	}
+	ref := make([]fpm.TimeSample, len(grid))
+	for i, g := range grid {
+		ref[i] = fpm.TimeSample{Size: g, Seconds: fpm.Time(truth, g)}
+	}
+	seedErr, _, err := fpm.Accuracy(seed, ref)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	var (
+		appliedGen        uint64
+		publishes         int
+		samplesSent       int
+		staleChecks       int
+		consistencyChecks int
+	)
+	for round := 0; round < rounds; round++ {
+		var samples []map[string]any
+		for _, g := range grid {
+			for k := 0; k < perSize; k++ {
+				size := g * (1 + 0.02*(rng.Float64()-0.5))                     // ±1% size jitter
+				secs := fpm.Time(truth, size) * (1 + 0.04*(rng.Float64()-0.5)) // ±2% timing noise
+				samples = append(samples, map[string]any{"size": size, "seconds": secs})
+			}
+		}
+		obody, _ := json.Marshal(map[string]any{"model": modelID, "samples": samples})
+		resp, err := client.Post(base+"/v1/observe", "application/json", bytes.NewReader(obody))
+		if err != nil {
+			return fmt.Errorf("observe round %d: %w", round, err)
+		}
+		odata, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("observe round %d: status %d: %s", round, resp.StatusCode, odata)
+		}
+		var ores struct {
+			Accepted int `json:"accepted"`
+			Models   []struct {
+				Applied    bool   `json:"applied"`
+				Generation uint64 `json:"generation"`
+			} `json:"models"`
+		}
+		if err := json.Unmarshal(odata, &ores); err != nil {
+			return fmt.Errorf("observe round %d: %w", round, err)
+		}
+		samplesSent += ores.Accepted
+		for _, m := range ores.Models {
+			if m.Applied {
+				publishes++
+				if m.Generation > appliedGen {
+					appliedGen = m.Generation
+				}
+			}
+		}
+
+		// Every partition answer must pin a generation at least as new as the
+		// last applied refinement — a stale-generation cache answer would
+		// report an older one (the solution key embeds the generation, so
+		// this doubles as a cache-invalidation check).
+		pbody := []byte(fmt.Sprintf(`{"models":[%q],"n":%d}`, modelID, n))
+		presp, err := client.Post(base+"/v1/partition", "application/json", bytes.NewReader(pbody))
+		if err != nil {
+			return fmt.Errorf("partition round %d: %w", round, err)
+		}
+		pdata, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			return fmt.Errorf("partition round %d: status %d: %s", round, presp.StatusCode, pdata)
+		}
+		var pres struct {
+			Devices []struct {
+				PredictedSeconds float64 `json:"predicted_seconds"`
+			} `json:"devices"`
+			ModelGens []uint64 `json:"model_generations"`
+		}
+		if err := json.Unmarshal(pdata, &pres); err != nil {
+			return fmt.Errorf("partition round %d: %w", round, err)
+		}
+		if len(pres.ModelGens) != 1 || len(pres.Devices) != 1 {
+			return fmt.Errorf("partition round %d: malformed response %s", round, pdata)
+		}
+		staleChecks++
+		if pres.ModelGens[0] < appliedGen {
+			return fmt.Errorf("round %d: STALE-GENERATION ANSWER: partition pinned gen %d after refinement published gen %d",
+				round, pres.ModelGens[0], appliedGen)
+		}
+		// Internal consistency: when the registered model still carries the
+		// generation the answer pinned, the prediction must be exactly that
+		// model's time at n.
+		pl, gen, err := fetchModel(client, base, modelID)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		if gen == pres.ModelGens[0] {
+			consistencyChecks++
+			want := fpm.Time(pl, n)
+			if got := pres.Devices[0].PredictedSeconds; math.Abs(got-want) > 1e-9*want {
+				return fmt.Errorf("round %d: answer at gen %d predicts %v, its model predicts %v",
+					round, gen, got, want)
+			}
+		}
+		time.Sleep(cooldown + 10*time.Millisecond)
+	}
+
+	final, finalGen, err := fetchModel(client, base, modelID)
+	if err != nil {
+		return err
+	}
+	finalErr, finalMax, err := fpm.Accuracy(final, ref)
+	if err != nil {
+		return err
+	}
+	improvement := seedErr / finalErr
+	knots := len(final.Points())
+	inversions := len(fpm.Diagnose(final))
+
+	failed := false
+	if publishes == 0 || appliedGen < 2 {
+		failed = true
+		fmt.Printf("refine smoke: FAIL: no refinement was published (gen %d)\n", appliedGen)
+	}
+	if improvement < 5 {
+		failed = true
+		fmt.Printf("refine smoke: FAIL: mean relative error improved only %.1fx (seed %.3f -> refined %.4f), want >=5x\n",
+			improvement, seedErr, finalErr)
+	}
+	if inversions != 0 {
+		failed = true
+		fmt.Printf("refine smoke: FAIL: refined model has %d time inversions\n", inversions)
+	}
+	if bound := 2*len(grid) + 2; knots > bound {
+		failed = true
+		fmt.Printf("refine smoke: FAIL: knot count %d exceeded bound %d after %d rounds\n", knots, bound, rounds)
+	}
+	if consistencyChecks == 0 {
+		failed = true
+		fmt.Println("refine smoke: FAIL: no generation-consistency check ever ran")
+	}
+
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s-refine.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	doc := map[string]any{
+		"date":    time.Now().UTC().Format("2006-01-02"),
+		"suite":   "refine",
+		"changes": "online FPM refinement from /v1/observe traffic: size-bucketed estimators, cooldown-gated rebuilds, generation-bumped publishes",
+		"config": map[string]any{
+			"rounds":           rounds,
+			"grid_sizes":       len(grid),
+			"samples_per_size": perSize,
+			"min_samples":      perSize,
+			"cooldown_ms":      cooldown.Milliseconds(),
+			"timing_noise":     "±2%",
+			"seed_speed":       60,
+			"truth_peak_speed": 500,
+		},
+		"seed_mean_rel_err":    seedErr,
+		"refined_mean_rel_err": finalErr,
+		"refined_max_rel_err":  finalMax,
+		"improvement_x":        improvement,
+		"samples_sent":         samplesSent,
+		"publishes":            publishes,
+		"final_generation":     finalGen,
+		"final_knots":          knots,
+		"time_inversions":      inversions,
+		"stale_gen_checks":     staleChecks,
+		"stale_gen_answers":    0,
+		"consistency_checks":   consistencyChecks,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	if failed {
+		return fmt.Errorf("refine smoke FAILED (results in %s)", out)
+	}
+	fmt.Printf("refine smoke: OK (mean rel err %.3f -> %.4f, %.0fx better; %d samples, %d publishes to gen %d; %d stale-gen checks clean, %d consistency checks clean; %d knots, 0 inversions; wrote %s)\n",
+		seedErr, finalErr, improvement, samplesSent, publishes, finalGen, staleChecks, consistencyChecks, knots, out)
+	return nil
+}
+
+// fetchModel GETs a registered model and its generation header.
+func fetchModel(client *http.Client, base, id string) (*fpm.PiecewiseLinear, uint64, error) {
+	resp, err := client.Get(base + "/v1/models/" + id)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("fetch model %s: status %d", id, resp.StatusCode)
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get(service.GenerationHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fetch model %s: bad generation header: %w", id, err)
+	}
+	pl := new(fpm.PiecewiseLinear)
+	if err := pl.UnmarshalJSON(data); err != nil {
+		return nil, 0, fmt.Errorf("fetch model %s: %w", id, err)
+	}
+	return pl, gen, nil
+}

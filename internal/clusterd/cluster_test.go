@@ -48,6 +48,12 @@ func pickAddrs(t *testing.T, n int) []string {
 // startMember boots one cluster member on addr, with peers being every
 // member's base URL (self included; clusterd filters it).
 func startMember(t *testing.T, addr string, peerURLs []string, dir string, probe time.Duration) *member {
+	return startMemberCfg(t, addr, peerURLs, dir, probe, nil)
+}
+
+// startMemberCfg is startMember with a service.Config mutator (observe
+// tests enable the refiner this way).
+func startMemberCfg(t *testing.T, addr string, peerURLs []string, dir string, probe time.Duration, mut func(*service.Config)) *member {
 	t.Helper()
 	self := "http://" + addr
 	cl, err := New(Options{
@@ -59,11 +65,15 @@ func startMember(t *testing.T, addr string, peerURLs []string, dir string, probe
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := service.New(service.Config{
+	cfg := service.Config{
 		ModelDir:              dir,
 		Cluster:               cl,
 		DisableRequestTracing: true,
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := service.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

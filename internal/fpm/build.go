@@ -85,26 +85,76 @@ func Accuracy(s SpeedFunction, ref []TimeSample) (meanRelErr, maxRelErr float64,
 	return sum / float64(len(ref)), maxRelErr, nil
 }
 
+// DefaultMergeEps is the relative size tolerance Merge applies when deduping
+// abscissae. Points whose sizes differ by less than one part in a million are
+// re-measurements of the same knot, not distinct observations: keeping both
+// accumulates knots without bound under repeated refine→merge cycles, and a
+// noise-sized speed difference across a noise-sized size gap manufactures a
+// violent local time inversion.
+const DefaultMergeEps = 1e-6
+
 // Merge combines several models of the same device (e.g. built in separate
-// sessions) into one by pooling their points; at duplicate sizes the
-// later-listed model wins.
+// sessions, or an online-refined partial model over its base) into one by
+// pooling their points; at duplicate or near-duplicate sizes (within
+// DefaultMergeEps, relative) the later-listed model wins.
 func Merge(models ...*PiecewiseLinear) (*PiecewiseLinear, error) {
+	return MergeEps(DefaultMergeEps, models...)
+}
+
+// MergeEps is Merge with an explicit relative size tolerance: points whose
+// sizes lie within eps (relative to the smallest size of their cluster)
+// collapse to one knot, the later-listed model's point winning. Clusters are
+// anchored at their smallest member, so the merged knot count is bounded by
+// the geometric eps-net over the size range no matter how many times models
+// are re-merged. eps must be in [0, 1); 0 dedupes exact duplicates only.
+func MergeEps(eps float64, models ...*PiecewiseLinear) (*PiecewiseLinear, error) {
+	if math.IsNaN(eps) || eps < 0 || eps >= 1 {
+		return nil, fmt.Errorf("fpm: merge epsilon %v out of [0,1)", eps)
+	}
 	if len(models) == 0 {
 		return nil, errors.New("fpm: nothing to merge")
 	}
-	bySize := map[float64]float64{}
-	for _, m := range models {
+	type cand struct {
+		p          Point
+		model, idx int
+	}
+	var all []cand
+	for mi, m := range models {
 		if m == nil {
 			return nil, errors.New("fpm: nil model in merge")
 		}
-		for _, p := range m.points {
-			bySize[p.Size] = p.Speed
+		for pi, p := range m.points {
+			all = append(all, cand{p: p, model: mi, idx: pi})
 		}
 	}
-	pts := make([]Point, 0, len(bySize))
-	for sz, sp := range bySize {
-		pts = append(pts, Point{Size: sz, Speed: sp})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p.Size != all[j].p.Size {
+			return all[i].p.Size < all[j].p.Size
+		}
+		if all[i].model != all[j].model {
+			return all[i].model < all[j].model
+		}
+		return all[i].idx < all[j].idx
+	})
+	var pts []Point
+	for i := 0; i < len(all); {
+		anchor := all[i].p.Size
+		win := all[i]
+		j := i + 1
+		for j < len(all) && all[j].p.Size <= anchor*(1+eps) {
+			// Later-listed model wins; within one model the larger size wins
+			// (deterministic, and NewPiecewiseLinear forbids within-model
+			// duplicates anyway).
+			if all[j].model > win.model || (all[j].model == win.model && all[j].idx > win.idx) {
+				win = all[j]
+			}
+			j++
+		}
+		// Winner sizes are strictly increasing across clusters: a cluster's
+		// winner is <= anchor*(1+eps), and the next cluster's anchor exceeds
+		// that — so the merged points never trip the duplicate-size check.
+		pts = append(pts, win.p)
+		i = j
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Size < pts[j].Size })
 	return NewPiecewiseLinear(pts)
 }

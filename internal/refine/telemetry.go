@@ -1,0 +1,55 @@
+package refine
+
+import "fpmpart/internal/telemetry"
+
+// Online-refinement metrics: sample intake, rebuild cadence, and publish
+// outcomes. Publish outcomes are split into separate counters (applied /
+// stale / error) so a stale-heavy ratio — refiners racing concurrent writers
+// — is visible at a glance. Free while telemetry is disabled.
+var (
+	samplesTotal    = telemetry.Default().Counter("refine_samples_total")
+	droppedTotal    = telemetry.Default().Counter("refine_samples_dropped_total")
+	rebuildsTotal   = telemetry.Default().Counter("refine_rebuilds_total")
+	suppressedTotal = telemetry.Default().Counter("refine_cooldown_suppressed_total")
+	publishApplied  = telemetry.Default().Counter("refine_publish_applied_total")
+	publishStale    = telemetry.Default().Counter("refine_publish_stale_total")
+	publishError    = telemetry.Default().Counter("refine_publish_error_total")
+)
+
+func recordSamples(n int) {
+	if n > 0 && telemetry.Default().Enabled() {
+		samplesTotal.Add(float64(n))
+	}
+}
+
+func recordDropped(n int) {
+	if telemetry.Default().Enabled() {
+		droppedTotal.Add(float64(n))
+	}
+}
+
+func recordRebuild() {
+	if telemetry.Default().Enabled() {
+		rebuildsTotal.Inc()
+	}
+}
+
+func recordSuppressed() {
+	if telemetry.Default().Enabled() {
+		suppressedTotal.Inc()
+	}
+}
+
+func recordPublish(outcome string) {
+	if !telemetry.Default().Enabled() {
+		return
+	}
+	switch outcome {
+	case "applied":
+		publishApplied.Inc()
+	case "stale":
+		publishStale.Inc()
+	default:
+		publishError.Inc()
+	}
+}

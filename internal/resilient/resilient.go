@@ -100,6 +100,12 @@ type Options struct {
 	Policy Policy
 	// PartitionOpts tunes the FPM re-partitioner.
 	PartitionOpts partition.FPMOptions
+	// ObserveSink, when non-nil, receives every successfully timed iteration
+	// share (device index, units executed, observed seconds) — the
+	// observed-vs-predicted signal the loop already computes, exported as raw
+	// material for online model refinement (refine.SampleBatch adapts it to
+	// observe batches). Called synchronously from Run; keep it cheap.
+	ObserveSink func(device, units int, seconds float64)
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -309,6 +315,9 @@ func Run(devices []partition.Device, oracle faults.Oracle, n, nIters int, opts O
 				continue
 			}
 			st.lastTime = t
+			if opts.ObserveSink != nil {
+				opts.ObserveSink(d, units[d], t)
+			}
 			total := t + retrySec
 			if total > step.Makespan {
 				step.Makespan = total

@@ -9,6 +9,7 @@ import (
 	"fpmpart/internal/faults"
 	"fpmpart/internal/fpm"
 	"fpmpart/internal/partition"
+	"fpmpart/internal/refine"
 )
 
 // constDevices builds constant-speed devices (units/second) whose oracle is
@@ -318,5 +319,62 @@ func TestAllDevicesCrashIsAnError(t *testing.T) {
 	_, err := Run(devs, oracle, 40, 10, Options{})
 	if err == nil {
 		t.Fatal("run with every device crashed should fail")
+	}
+}
+
+// TestObserveSink pins the observe wiring: every successfully timed share —
+// and only those — reaches the sink, with the units and seconds the loop
+// actually measured. refine.SampleBatch is the intended consumer, so the
+// test goes through it end-to-end.
+func TestObserveSink(t *testing.T) {
+	devs, base := constDevices(t, 4, 2, 2)
+	batch := refine.NewSampleBatch()
+	ids := []string{"devA", "devB", "devC"}
+	const n, iters = 80, 5
+	tr, err := Run(devs, injected(t, "", 1, base), n, iters, Options{
+		ObserveSink: batch.Sink(ids),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Completed {
+		t.Fatalf("run did not complete: %+v", tr)
+	}
+	got := batch.Take()
+	speeds := []float64{4, 2, 2}
+	for d, id := range ids {
+		ss := got[id]
+		if len(ss) != iters {
+			t.Fatalf("%s: %d samples, want %d", id, len(ss), iters)
+		}
+		for _, s := range ss {
+			if s.Size <= 0 {
+				t.Fatalf("%s: non-positive size %v", id, s.Size)
+			}
+			want := s.Size / speeds[d]
+			if math.Abs(s.Seconds-want) > 1e-12 {
+				t.Errorf("%s: seconds %v, want %v for %v units", id, s.Seconds, want, s.Size)
+			}
+		}
+	}
+
+	// A crashed device stops emitting: its post-crash attempts fail, so no
+	// samples for it after the drop while survivors keep reporting.
+	batch2 := refine.NewSampleBatch()
+	tr, err = Run(devs, injected(t, "crash:dev=0,iter=2", 1, base), n, iters, Options{
+		ObserveSink: batch2.Sink(ids),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Dropped) != 1 || tr.Dropped[0] != 0 {
+		t.Fatalf("crash scenario: dropped %v", tr.Dropped)
+	}
+	got = batch2.Take()
+	if len(got["devA"]) >= iters {
+		t.Errorf("crashed device kept emitting: %d samples", len(got["devA"]))
+	}
+	if len(got["devB"]) != iters || len(got["devC"]) != iters {
+		t.Errorf("survivors under-reported: B=%d C=%d", len(got["devB"]), len(got["devC"]))
 	}
 }

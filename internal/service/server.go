@@ -24,6 +24,7 @@ import (
 	"fpmpart/internal/layout"
 	"fpmpart/internal/par"
 	"fpmpart/internal/partition"
+	"fpmpart/internal/refine"
 	"fpmpart/internal/telemetry"
 )
 
@@ -94,6 +95,13 @@ type Config struct {
 	// routed to their consistent-hash owner, model writes replicate to
 	// peers, and responses carry their origin peer. Nil = single node.
 	Cluster ClusterHooks
+	// EnableObserve mounts POST /v1/observe: online model refinement from
+	// observed execution times. Off by default — refined models replace
+	// their seeds, which deployments pinning hand-built models may not want.
+	EnableObserve bool
+	// Refine tunes the online refiner (zero value = refine package
+	// defaults). Only consulted when EnableObserve is set.
+	Refine refine.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +135,7 @@ type Server struct {
 	flights  flightGroup
 	gate     *par.Gate
 	recorder *telemetry.FlightRecorder
+	refiner  *refine.Refiner
 	logger   *slog.Logger
 	draining atomic.Bool
 	// partitionSeen counts partition requests admitted by the handler
@@ -149,6 +158,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if !cfg.DisableRequestTracing {
 		s.recorder = telemetry.NewFlightRecorder(cfg.FlightRecorderSize, cfg.FlightRecorderReserve)
+	}
+	if cfg.EnableObserve {
+		r, err := refine.New(refineRegistry{s}, cfg.Refine)
+		if err != nil {
+			return nil, err
+		}
+		s.refiner = r
 	}
 	if _, err := s.Models.Load(); err != nil {
 		return nil, err
@@ -180,6 +196,7 @@ func (s *Server) Recorder() *telemetry.FlightRecorder { return s.recorder }
 //	DELETE /v1/models/{id}   remove a model
 //	POST   /v1/partition     FPM partition over registered models
 //	POST   /v1/predict       time/speed/deadline lookups against one model
+//	POST   /v1/observe       online model refinement (Config.EnableObserve)
 //	GET    /metrics[.json]   telemetry registry exposition
 //	GET    /debug/requests   flight recorder (recent/slowest/errored traces)
 func (s *Server) Handler() http.Handler {
@@ -191,6 +208,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/models/{id}", s.instrument("models.delete", s.handleDeleteModel))
 	mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
 	mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	if s.refiner != nil {
+		mux.HandleFunc("POST /v1/observe", s.instrument("observe", s.handleObserve))
+	}
 	// Deliberately not instrumented: the recorder must stay reachable even
 	// when the serving path is saturated, and recording reads of the recorder
 	// in the recorder itself would be noise.
@@ -470,6 +490,9 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, "%v", err)
 		return
+	}
+	if s.refiner != nil {
+		s.refiner.Forget(id)
 	}
 	if c := s.cfg.Cluster; c != nil {
 		c.ReplicateDelete(id)
@@ -979,6 +1002,7 @@ func Routes() []string {
 		"DELETE /v1/models/{id}",
 		"POST /v1/partition",
 		"POST /v1/predict",
+		"POST /v1/observe",
 		"GET /metrics",
 		"GET /debug/requests",
 	}

@@ -28,12 +28,34 @@ func (s *Sample) MAD() float64 {
 	return (devs[n/2-1] + devs[n/2]) / 2
 }
 
+// MeanAbsDev returns the mean absolute deviation about the median, or NaN
+// for an empty sample. Unlike the MAD it is non-zero whenever any
+// observation differs from the median, which makes it the robust-scale
+// fallback for degenerate samples where the MAD collapses to zero.
+func (s *Sample) MeanAbsDev() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	med := s.Median()
+	var sum float64
+	for _, x := range s.xs {
+		sum += math.Abs(x - med)
+	}
+	return sum / float64(len(s.xs))
+}
+
 // FilterOutliers returns a new sample containing the observations within k
 // scaled MADs of the median (k≈3 is conventional; the 1.4826 factor makes
-// the MAD consistent with a normal standard deviation). If the MAD is zero
-// (at least half the observations identical), only exact outliers beyond
-// k·epsilon-of-median survive filtering — degenerate inputs pass through
-// unchanged except for values different from the median.
+// the MAD consistent with a normal standard deviation).
+//
+// When more than half the observations are identical the MAD is zero and a
+// k·MAD window would reject every non-identical observation — exactly what
+// happens to observe batches from a quantized clock, where most timings land
+// on one tick and the rest one tick over. The filter then falls back to the
+// mean absolute deviation (scaled by 1.2533 for normal consistency), which
+// keeps same-tick-neighbour observations while still rejecting genuinely
+// distant ones. A fully degenerate sample (every value identical) passes
+// through unchanged.
 func (s *Sample) FilterOutliers(k float64) *Sample {
 	if len(s.xs) == 0 || k <= 0 {
 		return NewSample(s.xs...)
@@ -41,8 +63,11 @@ func (s *Sample) FilterOutliers(k float64) *Sample {
 	med := s.Median()
 	scale := 1.4826 * s.MAD()
 	if scale == 0 {
-		// Fall back to a relative tolerance around the median.
-		scale = 1e-9 * math.Max(1, math.Abs(med))
+		scale = 1.2533 * s.MeanAbsDev()
+	}
+	if scale == 0 {
+		// Every observation equals the median: nothing to reject.
+		return NewSample(s.xs...)
 	}
 	out := &Sample{}
 	for _, x := range s.xs {

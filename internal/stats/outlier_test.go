@@ -67,6 +67,50 @@ func TestFilterOutliersDegenerate(t *testing.T) {
 	}
 }
 
+func TestMeanAbsDev(t *testing.T) {
+	// median = 5; deviations 0,0,0,1 → meanAD = 0.25.
+	s := NewSample(5, 5, 5, 6)
+	if got := s.MeanAbsDev(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MeanAbsDev = %v, want 0.25", got)
+	}
+	if !math.IsNaN((&Sample{}).MeanAbsDev()) {
+		t.Error("empty MeanAbsDev should be NaN")
+	}
+	if got := NewSample(3, 3, 3).MeanAbsDev(); got != 0 {
+		t.Errorf("identical MeanAbsDev = %v, want 0", got)
+	}
+}
+
+// A quantized clock puts most observations on one tick and the rest one tick
+// over: >50% identical, MAD zero. The k·MAD window must not reject the
+// one-tick-over observations (the old relative-epsilon fallback did), while a
+// genuinely distant outlier still goes.
+func TestFilterOutliersQuantizedClock(t *testing.T) {
+	tick := 0.001
+	s := NewSample(tick, tick, tick, tick, tick, 2*tick, 2*tick, 2*tick)
+	if got := s.MAD(); got != 0 {
+		t.Fatalf("MAD = %v, want 0 (test premise)", got)
+	}
+	f := s.FilterOutliers(3)
+	if f.N() != s.N() {
+		t.Errorf("quantized-clock sample filtered from %d to %d; one-tick neighbours must survive", s.N(), f.N())
+	}
+	// The robust mean reflects the whole batch, not just the modal tick.
+	if rm := s.RobustMean(); math.Abs(rm-s.Mean()) > 1e-12 {
+		t.Errorf("robust mean %v != mean %v for quantized batch", rm, s.Mean())
+	}
+
+	// A distant outlier on top of the quantized batch is still rejected.
+	o := NewSample(tick, tick, tick, tick, tick, 2*tick, 2*tick, 2*tick, 0.5)
+	fo := o.FilterOutliers(3)
+	if fo.Max() > 3*tick {
+		t.Errorf("distant outlier survived: max %v", fo.Max())
+	}
+	if fo.N() < 5 {
+		t.Errorf("fallback scale rejected the modal tick itself: N = %d", fo.N())
+	}
+}
+
 // Property: filtering never increases the spread and keeps the median
 // roughly in place.
 func TestFilterOutliersProperty(t *testing.T) {
