@@ -4,7 +4,7 @@ GO ?= go
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck fpmd-cluster-smoke fpmd-cluster-bench fpmd-refine-smoke clean
+.PHONY: all build test race bench bench-all benchsmoke benchcmp fuzz experiments report cover check staticcheck fpmd-smoke fpmd-selfcheck fpmd-cluster-smoke fpmd-cluster-bench fpmd-refine-smoke fpmd-worker-smoke clean
 
 all: build test
 
@@ -100,6 +100,15 @@ fpmd-cluster-bench:
 # with no stale-generation cache answers. Writes BENCH_<date>-refine.json.
 fpmd-refine-smoke:
 	$(GO) run ./cmd/fpmd -refine-smoke
+
+# Real-execution end-to-end check: 3 fpmworker processes (one fault-slowed)
+# register with an in-process coordinator, a GEMM job is dispatched over
+# HTTP with FPM vs even partitioning, observed shard timings refine the
+# slowed worker's model, and a 4th worker is crash-killed mid-job to prove
+# residual re-partitioning on survivors stays bit-exact. Writes
+# BENCH_<date>-worker.json.
+fpmd-worker-smoke:
+	$(GO) run ./cmd/fpmd -worker-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

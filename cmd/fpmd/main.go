@@ -18,6 +18,13 @@
 //	                                           observed execution times
 //	fpmd -refine-smoke                         refinement convergence check,
 //	                                           writes BENCH_<date>-refine.json
+//	fpmd -workers                              also mount the worker backend:
+//	                                           POST /v1/workers registration and
+//	                                           POST /v1/execute distributed jobs
+//	fpmd -worker-smoke                         3 real fpmworker processes (one
+//	                                           fault-slowed, one killed mid-run),
+//	                                           FPM-vs-even + recovery check,
+//	                                           writes BENCH_<date>-worker.json
 //
 // Cluster mode (see internal/clusterd): N instances shard the solution
 // cache and solve work by consistent hashing and replicate models
@@ -77,6 +84,11 @@ func main() {
 		refCooldown = flag.Duration("refine-cooldown", 0, "observe: minimum interval between published rebuilds of one model (0 = refine default)")
 		refineSmoke = flag.Bool("refine-smoke", false, "run the online-refinement convergence check, write BENCH_<date>-refine.json, exit")
 
+		workersOn   = flag.Bool("workers", false, "mount the worker backend: POST /v1/workers registration + POST /v1/execute distributed jobs")
+		workerTTL   = flag.Duration("worker-ttl", 0, "heartbeat TTL before a silent worker is marked dead (0 = service default)")
+		workerSmoke = flag.Bool("worker-smoke", false, "spawn 3 real fpmworker processes (one fault-slowed, one killed mid-run), check FPM-vs-even + recovery, write BENCH_<date>-worker.json, exit")
+		workerBin   = flag.String("worker-bin", "", "fpmworker binary for -worker-smoke (default: go build ./cmd/fpmworker)")
+
 		self         = flag.String("self", "", "this member's advertised base URL; enables cluster mode with -peers")
 		peers        = flag.String("peers", "", "comma-separated member base URLs (self included; it is filtered out)")
 		vnodes       = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = clusterd default)")
@@ -112,6 +124,8 @@ func main() {
 			MinSamples: *refMinSamp,
 			Cooldown:   *refCooldown,
 		},
+		EnableWorkers: *workersOn,
+		WorkerTTL:     *workerTTL,
 	}
 	var cl *clusterd.Cluster
 	if *self != "" {
@@ -136,6 +150,8 @@ func main() {
 		err = runClusterBench(*benchOut)
 	case *refineSmoke:
 		err = runRefineSmoke(*benchOut)
+	case *workerSmoke:
+		err = runWorkerSmoke(*workerBin, *benchOut)
 	case *selfcheck:
 		err = runSelfcheck(*clients, *inflight)
 	default:
@@ -172,6 +188,7 @@ func serve(cfg service.Config, cl *clusterd.Cluster, addr string, drainTO time.D
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	if runtimeInt > 0 {
 		stop := telemetry.Default().StartRuntimeCollector(runtimeInt)
 		defer stop()

@@ -1,0 +1,456 @@
+package main
+
+// The worker smoke: the CI acceptance check for the distributed execution
+// backend. It boots an in-process coordinator (workers + observe enabled) on
+// a real port, spawns real fpmworker child processes against it, and drives
+// two phases over the public HTTP surface:
+//
+//  1. bench — a heterogeneous fleet (one worker fault-slowed 3x) runs the
+//     same multi-round GEMM under even split and under FPM partitioning.
+//     The workers self-calibrate un-slowed, so FPM's first round is as bad
+//     as even; the measured shard timings feed the observe refinement loop
+//     and later rounds shift work off the slow worker. FPM must end up
+//     beating even, the slow worker's model generation must bump, and no
+//     round may partition against a stale generation.
+//  2. kill — a worker with a planned crash fault dies mid-job (os.Exit
+//     while its shard is in flight). The coordinator must mark it dead,
+//     re-partition the residual among survivors, and still produce a
+//     bit-exact result.
+//
+// Results land in BENCH_<date>-worker.json.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"fpmpart/internal/refine"
+	"fpmpart/internal/service"
+	"fpmpart/internal/workerd"
+)
+
+// workerProc is one spawned fpmworker child.
+type workerProc struct {
+	name   string
+	cmd    *exec.Cmd
+	logs   *syncBuffer
+	done   chan error
+	exited bool // done already received (the channel fires once)
+}
+
+// startWorkerProc launches one fpmworker against the coordinator.
+func startWorkerProc(bin, name, fpmdURL, faultSpec string) (*workerProc, error) {
+	args := []string{
+		"-name", name,
+		"-fpmd", fpmdURL,
+		"-addr", "127.0.0.1:0",
+		"-heartbeat", "250ms",
+		"-calib-bands", "32,64,128,256",
+		"-calib-k", "128",
+		"-calib-n", "128",
+	}
+	if faultSpec != "" {
+		args = append(args, "-fault-spec", faultSpec)
+	}
+	cmd := exec.Command(bin, args...)
+	logs := &syncBuffer{}
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start worker %s: %w", name, err)
+	}
+	w := &workerProc{name: name, cmd: cmd, logs: logs, done: make(chan error, 1)}
+	go func() { w.done <- cmd.Wait() }()
+	return w, nil
+}
+
+// waitExit blocks until the worker process exits (or timeout) and reports
+// whether it did. Receives the one-shot done channel at most once.
+func (w *workerProc) waitExit(timeout time.Duration) bool {
+	if w.exited {
+		return true
+	}
+	select {
+	case <-w.done:
+		w.exited = true
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// stop SIGINTs the worker and waits briefly; an already-dead worker (the
+// kill phase's crash) is fine.
+func (w *workerProc) stop() {
+	if w.exited {
+		return
+	}
+	if w.cmd.Process != nil {
+		_ = w.cmd.Process.Signal(os.Interrupt)
+	}
+	if !w.waitExit(5 * time.Second) {
+		_ = w.cmd.Process.Kill()
+		w.waitExit(5 * time.Second)
+	}
+}
+
+// resolveWorkerBin returns the fpmworker binary to spawn: the -worker-bin
+// flag if given, else a fresh `go build` into a temp dir (CI path; requires
+// running from the module root).
+func resolveWorkerBin(workerBin string) (string, func(), error) {
+	if workerBin != "" {
+		return workerBin, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "fpmworker-bin-*")
+	if err != nil {
+		return "", nil, err
+	}
+	bin := filepath.Join(dir, "fpmworker")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fpmworker")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("go build ./cmd/fpmworker failed (pass -worker-bin or run from the module root): %v\n%s", err, out)
+	}
+	return bin, func() { os.RemoveAll(dir) }, nil
+}
+
+// postExecute drives one job through POST /v1/execute and decodes the report.
+func postExecute(client *http.Client, base string, req workerd.ExecuteRequest) (*workerd.ExecuteReport, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("execute: status %d: %s", resp.StatusCode, data)
+	}
+	rep := new(workerd.ExecuteReport)
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("execute response: %w: %s", err, data)
+	}
+	return rep, nil
+}
+
+// waitWorkersAlive polls the pool until all named workers are registered and
+// alive (registration includes the child's self-calibration, which takes a
+// moment).
+func waitWorkersAlive(s *service.Server, names []string, timeout time.Duration, procs []*workerProc) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		alive := map[string]bool{}
+		for _, wi := range s.WorkerPool().Alive() {
+			alive[wi.Name] = true
+		}
+		missing := ""
+		for _, n := range names {
+			if !alive[n] {
+				missing = n
+				break
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			logs := ""
+			for _, p := range procs {
+				if p.name == missing {
+					logs = tail(p.logs.String(), 2000)
+				}
+			}
+			return fmt.Errorf("worker %s never registered; logs:\n%s", missing, logs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// staleGens checks each round's pinned model generations against the
+// previous round's: a decrease means the partition was solved against a
+// stale model. Returns (checks, violations).
+func staleGens(detail []workerd.RoundReport) (int, int) {
+	checks, stale := 0, 0
+	prev := map[string]uint64{}
+	for _, rd := range detail {
+		for name, gen := range rd.ModelGens {
+			checks++
+			if gen < prev[name] {
+				stale++
+			}
+			prev[name] = gen
+		}
+	}
+	return checks, stale
+}
+
+func runWorkerSmoke(workerBin, out string) error {
+	bin, cleanBin, err := resolveWorkerBin(workerBin)
+	if err != nil {
+		return err
+	}
+	defer cleanBin()
+
+	// Coordinator: workers + observe, aggressive refinement so per-round
+	// shard timings shift upcoming partitions. A worker contributes one
+	// timing per round, so a two-sample bucket window (budget exhausted =
+	// reliable, and two is the estimator's floor) publishes from the second
+	// round a size bucket is seen.
+	s, err := service.New(service.Config{
+		EnableWorkers: true,
+		EnableObserve: true,
+		Refine:        refine.Config{MinSamples: 2, MaxSamplesPerBucket: 2, Cooldown: time.Millisecond},
+		WorkerTTL:     2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	bound, drain, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = drain(dctx)
+	}()
+	base := "http://" + bound
+	fmt.Printf("worker smoke: coordinator on %s\n", bound)
+
+	// Three real workers: two at full speed, one slowed 3x from round 0 on.
+	// The slowdown is invisible to self-calibration, so the coordinator
+	// starts with three near-identical models and has to *learn* the skew.
+	var procs []*workerProc
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+	for _, spec := range []struct{ name, faults string }{
+		{"fast1", ""}, {"fast2", ""}, {"slow", "slow:dev=0,iter=0,factor=3"},
+	} {
+		p, err := startWorkerProc(bin, spec.name, base, spec.faults)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, p)
+	}
+	fleet := []string{"fast1", "fast2", "slow"}
+	if err := waitWorkersAlive(s, fleet, 60*time.Second, procs); err != nil {
+		return err
+	}
+	slowGen0, err := s.Models.Get("slow")
+	if err != nil {
+		return fmt.Errorf("slow worker model not published: %w", err)
+	}
+	fmt.Printf("worker smoke: fleet registered (slow model gen %d)\n", slowGen0.Gen)
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	job := workerd.ExecuteRequest{
+		Kind: workerd.KindGemm, Rows: 768, K: 256, N: 256,
+		Seed: 7, Verify: true, Workers: fleet,
+	}
+
+	failed := false
+
+	// Phase 1a: FPM partitioning, enough rounds for refinement to bite.
+	fpmJob := job
+	fpmJob.Partition = workerd.PartitionFPM
+	fpmJob.Rounds = 6
+	fpmRep, err := postExecute(client, base, fpmJob)
+	if err != nil {
+		return fmt.Errorf("fpm phase: %w", err)
+	}
+	fpmWalls := make([]float64, 0, len(fpmRep.Detail))
+	for _, rd := range fpmRep.Detail {
+		fpmWalls = append(fpmWalls, rd.WallSeconds)
+	}
+	if !fpmRep.Verified || !fpmRep.BitExact {
+		failed = true
+		fmt.Printf("worker smoke: FAIL fpm phase not bit-exact (max abs diff %g)\n", fpmRep.MaxAbsDiff)
+	}
+	if fpmRep.Network.LinkBandwidth <= 0 || fpmRep.Network.Latency <= 0 {
+		failed = true
+		fmt.Printf("worker smoke: FAIL network not calibrated from measurement: %+v\n", fpmRep.Network)
+	}
+
+	// Phase 1b: even split over the same fleet — pays the slow worker's 3x
+	// on a full 1/3 share every round.
+	evenJob := job
+	evenJob.Partition = workerd.PartitionEven
+	evenJob.Rounds = 2
+	evenRep, err := postExecute(client, base, evenJob)
+	if err != nil {
+		return fmt.Errorf("even phase: %w", err)
+	}
+	evenMean := 0.0
+	for _, rd := range evenRep.Detail {
+		evenMean += rd.WallSeconds
+	}
+	evenMean /= float64(len(evenRep.Detail))
+	if !evenRep.Verified || !evenRep.BitExact {
+		failed = true
+		fmt.Println("worker smoke: FAIL even phase not bit-exact")
+	}
+
+	fpmBest := fpmWalls[len(fpmWalls)-1]
+	for _, wsec := range fpmWalls[len(fpmWalls)/2:] {
+		if wsec < fpmBest {
+			fpmBest = wsec
+		}
+	}
+	speedup := evenMean / fpmBest
+	fmt.Printf("worker smoke: bench  even mean %.3fs  fpm rounds %v  speedup %.2fx\n",
+		evenMean, fmtSeconds(fpmWalls), speedup)
+	if speedup < 1.2 {
+		failed = true
+		fmt.Printf("worker smoke: FAIL fpm (refined) %.3fs not beating even split %.3fs\n", fpmBest, evenMean)
+	}
+
+	// Refinement evidence: the slow worker's model moved generations, and no
+	// round ever partitioned against a generation older than one already
+	// used.
+	slowGen1, err := s.Models.Get("slow")
+	if err != nil {
+		return err
+	}
+	checks, stale := staleGens(append(append([]workerd.RoundReport{}, fpmRep.Detail...), evenRep.Detail...))
+	fmt.Printf("worker smoke: refine slow model gen %d -> %d; %d gen checks, %d stale\n",
+		slowGen0.Gen, slowGen1.Gen, checks, stale)
+	if slowGen1.Gen <= slowGen0.Gen {
+		failed = true
+		fmt.Println("worker smoke: FAIL slow worker's model never refined (no generation bump)")
+	}
+	if stale != 0 {
+		failed = true
+		fmt.Printf("worker smoke: FAIL %d stale-generation partitions\n", stale)
+	}
+
+	// Phase 2: mid-run kill. A fourth worker carries a planned crash at
+	// round 1: it serves round 0, then its process exits (for real) while
+	// its round-1 shard is in flight. Survivors must absorb the residual and
+	// the job must stay bit-exact.
+	doomed, err := startWorkerProc(bin, "doomed", base, "crash:dev=0,iter=1")
+	if err != nil {
+		return err
+	}
+	procs = append(procs, doomed)
+	if err := waitWorkersAlive(s, []string{"doomed"}, 60*time.Second, procs); err != nil {
+		return err
+	}
+	killJob := job
+	killJob.Partition = workerd.PartitionFPM
+	killJob.Rounds = 3
+	killJob.Workers = []string{"fast1", "fast2", "doomed"}
+	killRep, err := postExecute(client, base, killJob)
+	if err != nil {
+		return fmt.Errorf("kill phase: %w", err)
+	}
+	deaths := killRep.Deaths
+	repartitions := 0
+	for _, rd := range killRep.Detail {
+		repartitions += rd.Repartitions
+	}
+	fmt.Printf("worker smoke: kill   deaths %v, %d repartitions, bit-exact %v\n",
+		deaths, repartitions, killRep.BitExact)
+	if len(deaths) != 1 || deaths[0] != "doomed" {
+		failed = true
+		fmt.Printf("worker smoke: FAIL expected exactly the doomed worker to die, got %v\n", deaths)
+	}
+	if repartitions == 0 {
+		failed = true
+		fmt.Println("worker smoke: FAIL residual was never re-partitioned among survivors")
+	}
+	if !killRep.Verified || !killRep.BitExact {
+		failed = true
+		fmt.Println("worker smoke: FAIL kill-phase result not bit-exact after recovery")
+	}
+	// The crash was a real process death, not a simulated error.
+	if !doomed.waitExit(10 * time.Second) {
+		failed = true
+		fmt.Println("worker smoke: FAIL doomed worker process still running after its crash fault")
+	} else if code := doomed.cmd.ProcessState.ExitCode(); code != 3 {
+		failed = true
+		fmt.Printf("worker smoke: FAIL doomed exit code %d, want 3 (crash fault)\n", code)
+	}
+	// And the pool noticed: doomed is registered but dead.
+	for _, wi := range s.WorkerPool().List() {
+		if wi.Name == "doomed" && wi.Alive {
+			failed = true
+			fmt.Println("worker smoke: FAIL pool still lists doomed as alive")
+		}
+	}
+
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s-worker.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	doc := map[string]any{
+		"date":    time.Now().UTC().Format("2006-01-02"),
+		"suite":   "worker",
+		"changes": "real TCP worker execution backend: register/heartbeat/execute over HTTP, measured comm calibration, observe-fed refinement, mid-run death recovery",
+		"config": map[string]any{
+			"workers":         fleet,
+			"slow_fault":      "slow:dev=0,iter=0,factor=3",
+			"kill_fault":      "crash:dev=0,iter=1",
+			"rows":            job.Rows,
+			"k":               job.K,
+			"n":               job.N,
+			"fpm_rounds":      fpmJob.Rounds,
+			"even_rounds":     evenJob.Rounds,
+			"refine_cooldown": "1ms",
+		},
+		"even_mean_wall_seconds": evenMean,
+		"fpm_round_wall_seconds": fpmWalls,
+		"fpm_best_wall_seconds":  fpmBest,
+		"speedup_x":              speedup,
+		"slow_model_gen_before":  slowGen0.Gen,
+		"slow_model_gen_after":   slowGen1.Gen,
+		"stale_gen_checks":       checks,
+		"stale_gen_answers":      stale,
+		"network": map[string]any{
+			"link_bandwidth_bps": fpmRep.Network.LinkBandwidth,
+			"latency_seconds":    fpmRep.Network.Latency,
+		},
+		"kill": map[string]any{
+			"deaths":       deaths,
+			"repartitions": repartitions,
+			"bit_exact":    killRep.BitExact,
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("worker smoke: wrote %s\n", out)
+
+	if failed {
+		return fmt.Errorf("worker smoke FAILED")
+	}
+	fmt.Println("worker smoke: PASS")
+	return nil
+}
+
+func fmtSeconds(ws []float64) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = fmt.Sprintf("%.3fs", w)
+	}
+	return out
+}

@@ -48,6 +48,7 @@ import (
 	"fpmpart/internal/app"
 	"fpmpart/internal/bench"
 	"fpmpart/internal/cluster"
+	"fpmpart/internal/comm"
 	"fpmpart/internal/dynamic"
 	"fpmpart/internal/experiments"
 	"fpmpart/internal/fpm"
@@ -364,9 +365,20 @@ func SmoothModel(m *Model, window int) (*Model, error) { return fpm.Smooth(m, wi
 // cluster-wide simulated runs.
 type HybridCluster = cluster.Cluster
 
+// Network is a communication performance model (latency + bandwidths) used
+// to price transfers; obtain measured ones from a workerd fleet calibration.
+type Network = comm.Network
+
 // NewCluster assembles a cluster of hybrid nodes with default intra-node
 // and inter-node networks.
 func NewCluster(nodes ...*Node) (*HybridCluster, error) { return cluster.New(nodes...) }
+
+// NewClusterWithInterconnect assembles a cluster whose inter-node transfers
+// are priced on a measured network (e.g. a workerd fleet calibration)
+// instead of the built-in presets.
+func NewClusterWithInterconnect(interconnect Network, nodes ...*Node) (*HybridCluster, error) {
+	return cluster.NewWithInterconnect(interconnect, nodes...)
+}
 
 // ModelTimeInversion describes a region where a model's execution time
 // decreases with problem size (a memory-hierarchy transition or a

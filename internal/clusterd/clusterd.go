@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -177,12 +178,28 @@ func (c *Cluster) Owner(key string) (string, bool) {
 	return owner, false
 }
 
+// maxForwardBody bounds a relayed peer response. A response that does not
+// fit is an error, never a silent truncation: relaying the first 1 MiB of a
+// larger body would serve invalid JSON under the owner's 200 status.
+const maxForwardBody = 1 << 20
+
 // ForwardPartition implements service.ClusterHooks: one proxied hop to the
 // owner's /v1/partition. The ForwardedHeader stops the owner from
 // forwarding again; the request ID rides along so the two flight-recorder
 // entries correlate.
 func (c *Cluster) ForwardPartition(ctx context.Context, peer string, body []byte, requestID string) (int, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/partition", bytes.NewReader(body))
+	return c.forward(ctx, peer, "/v1/partition", body, requestID)
+}
+
+// ForwardObserve implements service.ClusterHooks: one proxied hop to the
+// model owner's /v1/observe, so refinement for a model happens on exactly
+// one member and its generation stream stays strictly increasing.
+func (c *Cluster) ForwardObserve(ctx context.Context, peer string, body []byte, requestID string) (int, []byte, error) {
+	return c.forward(ctx, peer, "/v1/observe", body, requestID)
+}
+
+func (c *Cluster) forward(ctx context.Context, peer, path string, body []byte, requestID string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -196,9 +213,15 @@ func (c *Cluster) ForwardPartition(ctx context.Context, peer string, body []byte
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// Read one byte past the relay limit to distinguish "fits exactly" from
+	// "overflows": on overflow the caller falls back to its local path.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
 	if err != nil {
 		return 0, nil, err
+	}
+	if len(data) > maxForwardBody {
+		forwardOverflows.Inc()
+		return 0, nil, fmt.Errorf("clusterd: response from %s%s exceeds relay limit %d bytes", peer, path, maxForwardBody)
 	}
 	return resp.StatusCode, data, nil
 }
@@ -216,6 +239,26 @@ func (c *Cluster) ReplicateModel(id string, gen uint64, raw []byte) {
 	}
 }
 
+// rejectedError marks a replication response that can never succeed on
+// retry (a definitive 4xx: bad body, invalid generation header). Retrying
+// one would burn ReplicateAttempts × ReplicateBackoff per peer per write
+// for nothing.
+type rejectedError struct {
+	status int
+	msg    string
+}
+
+func (e *rejectedError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.status, e.msg)
+}
+
+// retryableStatus reports whether a replication response status is worth
+// another attempt: server-side trouble (5xx) and backpressure (429) are;
+// every other non-200 is a definitive rejection.
+func retryableStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
 func (c *Cluster) pushModel(peer, id string, gen uint64, raw []byte) {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.ReplicateAttempts; attempt++ {
@@ -230,6 +273,15 @@ func (c *Cluster) pushModel(peer, id string, gen uint64, raw []byte) {
 			return
 		}
 		lastErr = err
+		var rej *rejectedError
+		if errors.As(err, &rej) {
+			// Definitive rejection: no retry can change the answer.
+			replicateTotal(peer, "rejected").Inc()
+			c.logger.Warn("model replication rejected",
+				slog.String("peer", peer), slog.String("model", id),
+				slog.Uint64("gen", gen), slog.Any("error", err))
+			return
+		}
 	}
 	replicateTotal(peer, "error").Inc()
 	c.logger.Warn("model replication failed",
@@ -252,6 +304,10 @@ func (c *Cluster) putModelTo(ctx context.Context, peer, id string, gen uint64, r
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if !retryableStatus(resp.StatusCode) {
+			return fmt.Errorf("replicate %s to %s: %w", id, peer,
+				&rejectedError{status: resp.StatusCode, msg: string(data)})
+		}
 		return fmt.Errorf("replicate %s to %s: status %d: %s", id, peer, resp.StatusCode, data)
 	}
 	io.Copy(io.Discard, resp.Body)

@@ -56,9 +56,12 @@ func TestClusterReplicatesRefinedModels(t *testing.T) {
 	for i, a := range addrs {
 		peerURLs[i] = "http://" + a
 	}
+	// Owner routing serializes every observe for one model on its ring
+	// owner, so back-to-back batches race a real cooldown — use an
+	// effectively-zero one (0 would select the 5s default).
 	observe := func(cfg *service.Config) {
 		cfg.EnableObserve = true
-		cfg.Refine = refine.Config{MinSamples: 4, Cooldown: time.Millisecond}
+		cfg.Refine = refine.Config{MinSamples: 4, Cooldown: time.Nanosecond}
 	}
 	m0 := startMemberCfg(t, addrs[0], peerURLs, t.TempDir(), 50*time.Millisecond, observe)
 	m1 := startMemberCfg(t, addrs[1], peerURLs, t.TempDir(), 50*time.Millisecond, observe)

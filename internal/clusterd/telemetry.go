@@ -11,6 +11,7 @@ import (
 var (
 	ringMembers      = telemetry.Default().Gauge("cluster_ring_members")
 	antiEntropyPulls = telemetry.Default().Counter("cluster_antientropy_pulls_total")
+	forwardOverflows = telemetry.Default().Counter("cluster_forward_overflows_total")
 )
 
 func peerAlive(peer string) *telemetry.Gauge {

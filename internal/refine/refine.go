@@ -57,7 +57,8 @@ type Registry interface {
 // Config tunes the refiner. The zero value selects the documented defaults.
 type Config struct {
 	// MinSamples is the per-bucket floor before a bucket's mean may be
-	// considered reliable. Default 8.
+	// considered reliable. Default 8; minimum 2 (the underlying estimator
+	// needs two observations, so a lower value could never publish).
 	MinSamples int
 	// MaxSamplesPerBucket bounds a bucket's sample window; when full the
 	// bucket's estimator restarts (published state is retained), so memory
@@ -98,6 +99,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MinSamples <= 0 {
 		c.MinSamples = 8
+	}
+	// stats.NewEstimator clamps MinReps to 2, and the bucket window restarts
+	// at MaxSamplesPerBucket samples — a window smaller than the effective
+	// floor would restart before ever becoming reliable, so clamp here too.
+	if c.MinSamples < 2 {
+		c.MinSamples = 2
 	}
 	if c.MaxSamplesPerBucket <= 0 {
 		c.MaxSamplesPerBucket = 512

@@ -412,3 +412,32 @@ func TestConcurrentObserve(t *testing.T) {
 		t.Errorf("no publish happened: gen %d", reg.gen)
 	}
 }
+
+// TestMinSamplesClampedToEstimatorFloor: stats.NewEstimator silently raises
+// MinReps below 2 to 2, and the bucket window restarts once it holds
+// MaxSamplesPerBucket samples — so a config asking for single-sample buckets
+// used to restart the window before reliability was ever reachable and could
+// never publish. withDefaults must clamp MinSamples (and therefore the
+// window) to the estimator's floor instead.
+func TestMinSamplesClampedToEstimatorFloor(t *testing.T) {
+	clk := &testClock{t: time.Unix(0, 0)}
+	reg := newFakeReg(fpm.MustPiecewiseLinear([]fpm.Point{{Size: 1, Speed: 100}, {Size: 4096, Speed: 100}}))
+	r, err := New(reg, Config{MinSamples: 1, MaxSamplesPerBucket: 1, Cooldown: time.Second, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := r.Config(); cfg.MinSamples != 2 || cfg.MaxSamplesPerBucket != 2 {
+		t.Fatalf("effective min=%d max=%d, want both clamped to 2", cfg.MinSamples, cfg.MaxSamplesPerBucket)
+	}
+	if res, err := r.Observe("dev", feed(1, 96, 0.02)); err != nil || res.Rebuilt {
+		t.Fatalf("one sample should not rebuild yet: %+v, %v", res, err)
+	}
+	clk.Advance(2 * time.Second)
+	res, err := r.Observe("dev", feed(1, 96, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Applied || reg.gen != 2 {
+		t.Fatalf("second sample filled the clamped window but did not publish: %+v (gen %d)", res, reg.gen)
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"math"
@@ -149,9 +150,51 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(order)
 
+	// Cluster routing: refinement for a model must happen on exactly one
+	// member — its ring owner — or two members rebuild concurrently and race
+	// generations through highest-wins replication, losing samples. Split
+	// the validated batch by owner, forward each remote sub-batch one hop
+	// (ForwardedHeader stops loops, as with partition forwards), and refine
+	// the local share here. A transport failure falls back to refining
+	// locally: degraded-mode samples still land, at the cost of a possible
+	// race until the owner is reachable again.
+	cluster := s.cfg.Cluster
+	forwarded := r.Header.Get(ForwardedHeader) != ""
+	localIDs := order
+	remote := map[string][]string{}
+	if cluster != nil && !forwarded {
+		localIDs = localIDs[:0:0]
+		for _, id := range order {
+			if peer, self := cluster.Owner(id); !self {
+				remote[peer] = append(remote[peer], id)
+			} else {
+				localIDs = append(localIDs, id)
+			}
+		}
+	}
+
 	out := observeResponse{Models: make([]observeModelResult, 0, len(order))}
+	var peers []string
+	for peer := range remote {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		ids := remote[peer]
+		merged, ok := s.forwardObserve(ctx, peer, ids, byModel)
+		if ok {
+			out.Accepted += merged.Accepted
+			out.Models = append(out.Models, merged.Models...)
+			continue
+		}
+		// Fallback: the owner is unreachable; refine locally rather than
+		// dropping the samples.
+		localIDs = append(localIDs, ids...)
+	}
+	sort.Strings(localIDs)
+
 	endRefine := telemetry.Stage(ctx, "refine")
-	for _, id := range order {
+	for _, id := range localIDs {
 		res, err := s.refiner.Observe(id, byModel[id])
 		if err != nil {
 			endRefine()
@@ -178,5 +221,38 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		out.Models = append(out.Models, mr)
 	}
 	endRefine()
+	sort.Slice(out.Models, func(i, j int) bool { return out.Models[i].Model < out.Models[j].Model })
 	s.writeResult(ctx, w, http.StatusOK, &out)
+}
+
+// forwardObserve ships the sub-batch for ids to their ring owner and merges
+// the owner's per-model results. ok=false means the caller should refine
+// locally (transport failure, non-200, or an unparseable relay).
+func (s *Server) forwardObserve(ctx context.Context, peer string, ids []string, byModel map[string][]refine.Sample) (observeResponse, bool) {
+	var freq observeRequest
+	for _, id := range ids {
+		for _, smp := range byModel[id] {
+			freq.Samples = append(freq.Samples, observeSample{
+				Model: id, Size: smp.Size, Seconds: smp.Seconds,
+			})
+		}
+	}
+	body, err := json.Marshal(&freq)
+	if err != nil {
+		return observeResponse{}, false
+	}
+	telemetry.AnnotateTrace(ctx, "observe_forward_peer", peer)
+	status, respBody, ferr := s.cfg.Cluster.ForwardObserve(ctx, peer, body, telemetry.TraceFrom(ctx).ID())
+	if ferr != nil || status != http.StatusOK {
+		observeForwardsTotal("fallback").Inc()
+		telemetry.AnnotateTrace(ctx, "observe_forward", "fallback")
+		return observeResponse{}, false
+	}
+	var merged observeResponse
+	if err := json.Unmarshal(respBody, &merged); err != nil {
+		observeForwardsTotal("fallback").Inc()
+		return observeResponse{}, false
+	}
+	observeForwardsTotal("ok").Inc()
+	return merged, true
 }

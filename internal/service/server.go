@@ -26,6 +26,7 @@ import (
 	"fpmpart/internal/partition"
 	"fpmpart/internal/refine"
 	"fpmpart/internal/telemetry"
+	"fpmpart/internal/workerd"
 )
 
 // ForwardedHeader marks a partition request that already took its forward
@@ -53,6 +54,12 @@ type ClusterHooks interface {
 	// error is a transport failure — the caller falls back to solving
 	// locally, so a dead owner degrades to extra work, not an error.
 	ForwardPartition(ctx context.Context, peer string, body []byte, requestID string) (int, []byte, error)
+	// ForwardObserve proxies an observe batch to peer's /v1/observe — the
+	// ring owner of the batch's model — so one member refines each model
+	// and its generation stream stays strictly increasing. Same error
+	// semantics as ForwardPartition: transport failure falls back to
+	// refining locally.
+	ForwardObserve(ctx context.Context, peer string, body []byte, requestID string) (int, []byte, error)
 	// ReplicateModel pushes a locally accepted model write to all peers
 	// (asynchronously; generation conflicts resolve highest-wins remotely).
 	ReplicateModel(id string, gen uint64, raw []byte)
@@ -102,6 +109,18 @@ type Config struct {
 	// Refine tunes the online refiner (zero value = refine package
 	// defaults). Only consulted when EnableObserve is set.
 	Refine refine.Config
+	// EnableWorkers mounts the worker backend: POST /v1/workers
+	// (registration + wire calibration), heartbeats, and POST /v1/execute
+	// (partition a real job over the registered workers). Off by default.
+	EnableWorkers bool
+	// WorkerTTL is how long a worker stays live without a heartbeat.
+	// Default 5s.
+	WorkerTTL time.Duration
+	// ExecuteTimeout bounds one POST /v1/execute job end to end (it runs
+	// past the per-request deadline by design). Default 10m.
+	ExecuteTimeout time.Duration
+	// ShardTimeout bounds one shard dispatch within a job. Default 2m.
+	ShardTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -123,7 +142,7 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return c
+	return workerDefaults(c)
 }
 
 // Server is the partitioning service: model registry + solution cache +
@@ -136,6 +155,8 @@ type Server struct {
 	gate     *par.Gate
 	recorder *telemetry.FlightRecorder
 	refiner  *refine.Refiner
+	pool     *workerd.Pool
+	executor *workerd.Executor
 	logger   *slog.Logger
 	draining atomic.Bool
 	// partitionSeen counts partition requests admitted by the handler
@@ -165,6 +186,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.refiner = r
+	}
+	if cfg.EnableWorkers {
+		s.pool = workerd.NewPool(workerModelSink{s}, workerd.PoolOptions{
+			TTL:    cfg.WorkerTTL,
+			Logger: cfg.Logger,
+		})
+		s.executor = workerd.NewExecutor(s.pool, workerModelSource{s}, workerObserver{s}, workerd.ExecutorOptions{
+			ShardTimeout: cfg.ShardTimeout,
+			Logger:       cfg.Logger,
+		})
+		s.pool.Start()
 	}
 	if _, err := s.Models.Load(); err != nil {
 		return nil, err
@@ -210,6 +242,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	if s.refiner != nil {
 		mux.HandleFunc("POST /v1/observe", s.instrument("observe", s.handleObserve))
+	}
+	if s.pool != nil {
+		mux.HandleFunc("POST /v1/workers", s.instrument("workers.register", s.handleRegisterWorker))
+		mux.HandleFunc("GET /v1/workers", s.instrument("workers.list", s.handleListWorkers))
+		mux.HandleFunc("POST /v1/workers/{name}/heartbeat", s.instrument("workers.heartbeat", s.handleWorkerHeartbeat))
+		mux.HandleFunc("DELETE /v1/workers/{name}", s.instrument("workers.delete", s.handleRemoveWorker))
+		mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
 	}
 	// Deliberately not instrumented: the recorder must stay reachable even
 	// when the serving path is saturated, and recording reads of the recorder
@@ -1003,6 +1042,11 @@ func Routes() []string {
 		"POST /v1/partition",
 		"POST /v1/predict",
 		"POST /v1/observe",
+		"POST /v1/workers",
+		"GET /v1/workers",
+		"POST /v1/workers/{name}/heartbeat",
+		"DELETE /v1/workers/{name}",
+		"POST /v1/execute",
 		"GET /metrics",
 		"GET /debug/requests",
 	}

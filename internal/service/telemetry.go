@@ -48,6 +48,10 @@ func forwardsTotal(outcome string) *telemetry.Counter {
 	return telemetry.Default().Counter("fpmd_forwards_total", "outcome", outcome)
 }
 
+func observeForwardsTotal(outcome string) *telemetry.Counter {
+	return telemetry.Default().Counter("fpmd_observe_forwards_total", "outcome", outcome)
+}
+
 func ownershipTotal(owner string) *telemetry.Counter {
 	return telemetry.Default().Counter("fpmd_key_ownership_total", "owner", owner)
 }

@@ -1,0 +1,99 @@
+package workerd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Calibrate measures the wire toward one worker at registration time:
+// RTT as the floor over probeCount /healthz round-trips, and bandwidth from
+// timing a probeBytes POST into the worker's sink (with the RTT floor
+// subtracted, so small payloads do not under-report the link).
+//
+// The result replaces the hard-coded DefaultInterconnect presets: partition
+// migration pricing then reflects what this deployment's network actually
+// does, not 2012-era hardware.
+func Calibrate(ctx context.Context, client *http.Client, baseURL string, probeCount, probeBytes int) (Calibration, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base := strings.TrimRight(baseURL, "/")
+
+	rtt, err := measureRTT(ctx, client, base, probeCount)
+	if err != nil {
+		return Calibration{}, err
+	}
+	bw, err := measureBandwidth(ctx, client, base, probeBytes, rtt)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{RTTSeconds: rtt, BandwidthBps: bw}, nil
+}
+
+func measureRTT(ctx context.Context, client *http.Client, base string, probes int) (float64, error) {
+	if probes <= 0 {
+		probes = 1
+	}
+	best := 0.0
+	for i := 0; i < probes; i++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, fmt.Errorf("rtt probe %d: %w", i, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(start).Seconds()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("rtt probe %d: status %d", i, resp.StatusCode)
+		}
+		if i == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+func measureBandwidth(ctx context.Context, client *http.Client, base string, probeBytes int, rtt float64) (float64, error) {
+	if probeBytes <= 0 {
+		probeBytes = 1 << 20
+	}
+	// Non-trivially-compressible pattern; content is discarded anyway.
+	payload := make([]byte, probeBytes)
+	for i := range payload {
+		payload[i] = byte(i*131 + i>>8)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+SinkPath, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("bandwidth probe: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start).Seconds()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("bandwidth probe: status %d", resp.StatusCode)
+	}
+	transfer := elapsed - rtt
+	if transfer <= 0 {
+		transfer = elapsed / 2
+	}
+	if transfer <= 0 {
+		transfer = 1e-9
+	}
+	return float64(probeBytes) / transfer, nil
+}

@@ -1,0 +1,196 @@
+// Package workerd turns fpmd's cluster/comm layers from a simulation into a
+// distributed executor: real worker processes (cmd/fpmworker) register with
+// fpmd, heartbeat, execute partitioned GEMM/stencil shards on their local
+// packed internal/blas kernels, and stream per-shard timings back.
+//
+// The package has two halves, joined only by the HTTP wire protocol below:
+//
+//   - Worker: the worker-process side. Serves shard execution
+//     (POST /worker/v1/shard), the calibration probes fpmd runs at
+//     registration (GET /healthz for RTT, POST /worker/v1/sink for
+//     throughput), and a self-calibration that times the local kernel to
+//     seed the worker's functional performance model.
+//
+//   - Pool + Executor: the fpmd side. The Pool tracks registered workers
+//     (liveness from heartbeats plus a TTL janitor; a measured comm.Network
+//     per worker instead of the 2012-era DefaultInterconnect presets). The
+//     Executor partitions a job over the live workers with partition.FPM on
+//     their *served* models — so online refinement of those models changes
+//     the next partition — dispatches the shards concurrently, feeds the
+//     observed shard timings back through an Observer (the /v1/observe
+//     refinement loop), and re-partitions the residual among survivors when
+//     a shard request fails or a heartbeat lapses mid-job.
+//
+// Determinism contract: a GEMM shard is rows [Row0,Row1) of C = A·B where A
+// (Rows×K) and B (K×N) are regenerated from the job seed on every worker via
+// matrix.Dense.FillRandom. The packed kernels are bit-deterministic for a
+// given shard shape (parallel == sequential, config chosen by shape class),
+// so on a homogeneous fleet the gathered C is bit-identical to a local
+// GemmPacked reference replaying the same shard boundaries — which is
+// exactly what the worker smoke asserts after killing a worker mid-run.
+package workerd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"fpmpart/internal/comm"
+)
+
+// Worker-side routes (served by Worker.Handler, mounted by cmd/fpmworker).
+const (
+	// ShardPath executes one shard and returns its timing (and, on request,
+	// the raw result band).
+	ShardPath = "/worker/v1/shard"
+	// SinkPath swallows a calibration payload so fpmd can measure transfer
+	// throughput toward the worker at registration.
+	SinkPath = "/worker/v1/sink"
+	// InfoPath reports the worker's static facts (name, cores, kernel).
+	InfoPath = "/worker/v1/info"
+)
+
+// JobKind selects the shard kernel.
+type JobKind string
+
+// Supported shard kernels.
+const (
+	// KindGemm partitions the row dimension of C = A·B over the workers.
+	KindGemm JobKind = "gemm"
+	// KindStencil partitions the rows of an independent-band 5-point stencil
+	// sweep (each shard owns its band's boundaries; no halo exchange — the
+	// bands are independent sub-grids, which is what the FPM's unit measures).
+	KindStencil JobKind = "stencil"
+)
+
+// ShardRequest is the body of POST /worker/v1/shard: one contiguous band of
+// the job's row dimension.
+type ShardRequest struct {
+	// Job identifies the execute call (for logs and tracing).
+	Job string `json:"job"`
+	// Kind selects the kernel. Empty means gemm.
+	Kind JobKind `json:"kind,omitempty"`
+	// Seed regenerates the operands: A = FillRandom(Seed), B =
+	// FillRandom(Seed+1). The grid of a stencil shard is seeded analogously.
+	Seed int64 `json:"seed"`
+	// Rows, K, N are the full problem dimensions: C is Rows×N, A is Rows×K,
+	// B is K×N. A stencil uses Rows×N grids and ignores K.
+	Rows int `json:"rows"`
+	K    int `json:"k"`
+	N    int `json:"n"`
+	// Row0, Row1 bound this shard's band: rows [Row0, Row1) of C.
+	Row0 int `json:"row0"`
+	Row1 int `json:"row1"`
+	// Iters is the stencil sweep count (ignored by gemm).
+	Iters int `json:"iters,omitempty"`
+	// Round is the execute round this shard belongs to (the fault plan's
+	// iteration index on the worker side).
+	Round int `json:"round"`
+	// ReturnResult asks for the raw result band bytes (float32 little-endian,
+	// row-major) so the coordinator can gather and verify. When false only
+	// the checksum travels back.
+	ReturnResult bool `json:"return_result,omitempty"`
+}
+
+// Validate reports malformed shard requests.
+func (r *ShardRequest) Validate() error {
+	kind := r.Kind
+	if kind == "" {
+		kind = KindGemm
+	}
+	if kind != KindGemm && kind != KindStencil {
+		return fmt.Errorf("workerd: unknown shard kind %q", r.Kind)
+	}
+	if r.Rows <= 0 || r.N <= 0 {
+		return fmt.Errorf("workerd: invalid dimensions rows=%d n=%d", r.Rows, r.N)
+	}
+	if kind == KindGemm && r.K <= 0 {
+		return fmt.Errorf("workerd: invalid gemm depth k=%d", r.K)
+	}
+	if kind == KindStencil && r.Iters <= 0 {
+		return fmt.Errorf("workerd: invalid stencil iters=%d", r.Iters)
+	}
+	if r.Row0 < 0 || r.Row1 > r.Rows || r.Row0 >= r.Row1 {
+		return fmt.Errorf("workerd: invalid band [%d,%d) of %d rows", r.Row0, r.Row1, r.Rows)
+	}
+	return nil
+}
+
+// ShardResponse is the worker's answer: the measured kernel time and a
+// checksum of the result band (plus the band itself when requested).
+type ShardResponse struct {
+	Job     string  `json:"job"`
+	Worker  string  `json:"worker"`
+	Row0    int     `json:"row0"`
+	Row1    int     `json:"row1"`
+	Seconds float64 `json:"seconds"`
+	// Checksum is an FNV-1a 64-bit hash over the result band bytes, so the
+	// coordinator can cross-check a band it did not ask to have shipped.
+	Checksum uint64 `json:"checksum"`
+	// Result is the band's float32 little-endian bytes (JSON base64), present
+	// only when the request set ReturnResult.
+	Result []byte `json:"result,omitempty"`
+}
+
+// Registration is the body of POST /v1/workers (worker → fpmd): the worker
+// advertises where it listens and the functional performance model its
+// self-calibration measured.
+type Registration struct {
+	// Name keys the worker in the pool AND names its model in fpmd's model
+	// registry (so /v1/observe refinement targets it). Must be a valid model
+	// id.
+	Name string `json:"name"`
+	// URL is the worker's base URL (scheme + host:port).
+	URL string `json:"url"`
+	// Cores is the worker's kernel parallelism (informational).
+	Cores int `json:"cores"`
+	// Model is the fpm JSON wire form of the self-calibrated FPM
+	// (speed in rows/second over band sizes).
+	Model []byte `json:"model"`
+}
+
+// Calibration is the comm model fpmd measured for one worker at
+// registration: real wire behaviour instead of preset constants.
+type Calibration struct {
+	// RTTSeconds is the measured request round-trip floor.
+	RTTSeconds float64 `json:"rtt_seconds"`
+	// BandwidthBps is the measured transfer throughput, bytes/second.
+	BandwidthBps float64 `json:"bandwidth_bps"`
+}
+
+// Network converts the measurement into the repo's comm model: latency is
+// half the round trip, bandwidth is the measured payload throughput.
+func (c Calibration) Network() comm.Network {
+	lat := c.RTTSeconds / 2
+	if lat <= 0 || math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 1e-6
+	}
+	bw := c.BandwidthBps
+	if bw <= 0 || math.IsNaN(bw) || math.IsInf(bw, 0) {
+		bw = 1e9
+	}
+	return comm.Network{LinkBandwidth: bw, AggregateBandwidth: 0, Latency: lat}
+}
+
+// WorkerInfo is one pool entry as served by GET /v1/workers.
+type WorkerInfo struct {
+	Name        string      `json:"name"`
+	URL         string      `json:"url"`
+	Cores       int         `json:"cores"`
+	Alive       bool        `json:"alive"`
+	Generation  uint64      `json:"model_generation"`
+	Calibration Calibration `json:"calibration"`
+	LastSeen    time.Time   `json:"last_seen"`
+	// Shards and Failures count dispatches to this worker since registration.
+	Shards   int64 `json:"shards"`
+	Failures int64 `json:"failures"`
+}
+
+// checksumBytes is the band checksum both sides compute: FNV-1a over the
+// raw float32 little-endian bytes.
+func checksumBytes(p []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(p)
+	return h.Sum64()
+}

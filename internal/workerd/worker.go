@@ -1,0 +1,324 @@
+package workerd
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"fpmpart/internal/blas"
+	"fpmpart/internal/faults"
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/matrix"
+	"fpmpart/internal/stencil"
+	"fpmpart/internal/telemetry"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// Name identifies the worker (and its model) to fpmd. Required.
+	Name string
+	// Workers is the kernel parallelism for GemmPacked. 0 = GOMAXPROCS.
+	Workers int
+	// Faults injects slowdown/stall/crash behaviour into shard execution,
+	// keyed on the shard's Round as the fault-plan iteration. Nil = none.
+	Faults *faults.Injector
+	// CrashFn is invoked when the fault plan says this worker crashes
+	// (cmd/fpmworker wires os.Exit so the process really dies; tests wire a
+	// listener close). Nil falls back to answering 500.
+	CrashFn func()
+	// Logger receives shard/serve events. Nil discards.
+	Logger *slog.Logger
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Worker is the worker-process side: it executes shards on the local packed
+// kernels and serves the calibration probes.
+type Worker struct {
+	opts   WorkerOptions
+	logger *slog.Logger
+}
+
+// NewWorker builds a worker from opts.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Name == "" {
+		return nil, errors.New("workerd: worker name required")
+	}
+	opts = opts.withDefaults()
+	return &Worker{opts: opts, logger: opts.Logger}, nil
+}
+
+// Handler returns the worker's HTTP API:
+//
+//	GET  /healthz          liveness (fpmd's RTT probe and heartbeat check)
+//	GET  /worker/v1/info   static facts (name, cores)
+//	POST /worker/v1/sink   swallow a calibration payload (throughput probe)
+//	POST /worker/v1/shard  execute one shard, return timing (+ result band)
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"status":"ok","worker":%q}`+"\n", w.opts.Name)
+	})
+	mux.HandleFunc("GET "+InfoPath, func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"name": w.opts.Name, "cores": w.opts.Workers,
+		})
+	})
+	mux.HandleFunc("POST "+SinkPath, w.handleSink)
+	mux.HandleFunc("POST "+ShardPath, w.handleShard)
+	return mux
+}
+
+// Serve binds the worker's API on addr (host:0 for ephemeral) and returns
+// the bound address plus a graceful shutdown.
+func (w *Worker) Serve(addr string) (string, func(context.Context) error, error) {
+	return telemetry.ServeHTTP(addr, w.Handler())
+}
+
+// handleSink reads and discards the calibration payload, reporting how many
+// bytes arrived — the sender's elapsed time over that count is the measured
+// throughput.
+func (w *Worker) handleSink(rw http.ResponseWriter, r *http.Request) {
+	n, err := io.Copy(io.Discard, http.MaxBytesReader(rw, r.Body, maxSinkBytes))
+	if err != nil {
+		http.Error(rw, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(rw, `{"bytes":%d}`+"\n", n)
+}
+
+// maxSinkBytes bounds one throughput probe payload.
+const maxSinkBytes = 64 << 20
+
+// maxShardBody bounds one shard request body.
+const maxShardBody = 1 << 20
+
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxShardBody)).Decode(&req); err != nil {
+		http.Error(rw, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(rw, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	band, seconds, err := w.execute(&req)
+	if err != nil {
+		http.Error(rw, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+
+	// Fault plan: consult after the compute so a slowdown inflates the real
+	// measurement (the extra time is actually slept — wall clock degrades,
+	// which is what the refinement loop must observe), a stall fails this
+	// call transiently, and a crash takes the process down for real.
+	if inj := w.opts.Faults; !inj.Empty() {
+		adj, ferr := inj.Wrap(func(_, _ int) float64 { return seconds })(0, req.Row1-req.Row0, req.Round)
+		switch {
+		case errors.Is(ferr, faults.ErrCrashed):
+			w.logger.Error("fault plan: crashing", slog.Int("round", req.Round))
+			if w.opts.CrashFn != nil {
+				w.opts.CrashFn()
+			}
+			http.Error(rw, `{"error":"worker crashed"}`, http.StatusInternalServerError)
+			return
+		case errors.Is(ferr, faults.ErrStalled):
+			http.Error(rw, `{"error":"worker stalled"}`, http.StatusServiceUnavailable)
+			return
+		case ferr != nil:
+			http.Error(rw, fmt.Sprintf(`{"error":%q}`, ferr.Error()), http.StatusInternalServerError)
+			return
+		case adj > seconds:
+			time.Sleep(time.Duration((adj - seconds) * float64(time.Second)))
+			seconds = adj
+		}
+	}
+
+	resp := ShardResponse{
+		Job: req.Job, Worker: w.opts.Name,
+		Row0: req.Row0, Row1: req.Row1,
+		Seconds:  seconds,
+		Checksum: checksumBytes(band),
+	}
+	if req.ReturnResult {
+		resp.Result = band
+	}
+	shardsExecuted.Inc()
+	shardSeconds.Observe(seconds)
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(&resp)
+	w.logger.Debug("shard executed",
+		slog.String("job", req.Job), slog.Int("row0", req.Row0), slog.Int("row1", req.Row1),
+		slog.Float64("seconds", seconds))
+}
+
+// execute runs the shard kernel and returns the result band bytes and the
+// measured kernel seconds (operand regeneration excluded: the FPM models
+// compute speed, and regeneration cost is constant per round, not per unit).
+func (w *Worker) execute(req *ShardRequest) ([]byte, float64, error) {
+	switch req.Kind {
+	case KindStencil:
+		return executeStencil(req)
+	default:
+		return executeGemm(req, w.opts.Workers)
+	}
+}
+
+// executeGemm computes rows [Row0,Row1) of C = A·B with the packed kernel.
+// Bit-determinism: operands are regenerated from the seed, and the config is
+// selected by the shard's shape class, so any process replaying the same
+// shard on the same ISA produces identical bytes.
+func executeGemm(req *ShardRequest, workers int) ([]byte, float64, error) {
+	a, err := matrix.New(req.Rows, req.K)
+	if err != nil {
+		return nil, 0, err
+	}
+	b, err := matrix.New(req.K, req.N)
+	if err != nil {
+		return nil, 0, err
+	}
+	a.FillRandom(req.Seed)
+	b.FillRandom(req.Seed + 1)
+	band := req.Row1 - req.Row0
+	av, err := a.View(req.Row0, 0, band, req.K)
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := matrix.New(band, req.N)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := blas.ActiveFor(band, req.K, req.N)
+	start := time.Now()
+	if err := blas.GemmPacked(1, av, b, 0, c, cfg, workers); err != nil {
+		return nil, 0, err
+	}
+	seconds := time.Since(start).Seconds()
+	return encodeBand(c), seconds, nil
+}
+
+// executeStencil runs Iters sweeps over an independent Band×N sub-grid.
+func executeStencil(req *ShardRequest) ([]byte, float64, error) {
+	g, err := stencil.NewGrid(req.Row1-req.Row0, req.N)
+	if err != nil {
+		return nil, 0, err
+	}
+	g.FillSine()
+	start := time.Now()
+	out, err := stencil.RunSequential(g, req.Iters)
+	if err != nil {
+		return nil, 0, err
+	}
+	seconds := time.Since(start).Seconds()
+	buf := make([]byte, 8*len(out.Data))
+	for i, v := range out.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf, seconds, nil
+}
+
+// encodeBand serializes a compact (stride == cols) or strided band to
+// row-major float32 little-endian bytes.
+func encodeBand(c *matrix.Dense) []byte {
+	buf := make([]byte, 4*c.Rows*c.Cols)
+	o := 0
+	for i := 0; i < c.Rows; i++ {
+		row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf[o:], math.Float32bits(v))
+			o += 4
+		}
+	}
+	return buf
+}
+
+// decodeBand is encodeBand's inverse into rows×cols.
+func decodeBand(p []byte, rows, cols int) (*matrix.Dense, error) {
+	if len(p) != 4*rows*cols {
+		return nil, fmt.Errorf("workerd: band payload %d bytes, want %d (%dx%d float32)", len(p), 4*rows*cols, rows, cols)
+	}
+	m, err := matrix.New(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+	return m, nil
+}
+
+// SelfCalibrate times the local packed kernel on a ladder of row-band sizes
+// of a reference Rows×K×N job and returns the measured FPM (speed in
+// rows/second). This seeds the worker's served model at registration; the
+// /v1/observe loop refines it from real shard timings afterwards.
+func SelfCalibrate(bands []int, k, n, workers int) (*fpm.PiecewiseLinear, error) {
+	if len(bands) == 0 {
+		return nil, errors.New("workerd: no calibration band sizes")
+	}
+	bands = append([]int(nil), bands...)
+	sort.Ints(bands)
+	for _, b := range bands {
+		if b <= 0 {
+			return nil, fmt.Errorf("workerd: invalid calibration band %d", b)
+		}
+	}
+	maxBand := bands[len(bands)-1]
+	a, err := matrix.New(maxBand, k)
+	if err != nil {
+		return nil, err
+	}
+	b, err := matrix.New(k, n)
+	if err != nil {
+		return nil, err
+	}
+	a.FillRandom(1)
+	b.FillRandom(2)
+	samples := make([]fpm.TimeSample, 0, len(bands))
+	for _, band := range bands {
+		av, err := a.View(0, 0, band, k)
+		if err != nil {
+			return nil, err
+		}
+		c, err := matrix.New(band, n)
+		if err != nil {
+			return nil, err
+		}
+		cfg := blas.ActiveFor(band, k, n)
+		// One warmup, then the timed run — first-touch page faults otherwise
+		// dominate small bands.
+		if err := blas.GemmPacked(1, av, b, 0, c, cfg, workers); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := blas.GemmPacked(1, av, b, 0, c, cfg, workers); err != nil {
+			return nil, err
+		}
+		sec := time.Since(start).Seconds()
+		if sec <= 0 {
+			sec = 1e-9 // quantized clock floor
+		}
+		samples = append(samples, fpm.TimeSample{Size: float64(band), Seconds: sec})
+	}
+	return fpm.FromTimings(samples)
+}

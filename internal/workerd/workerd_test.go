@@ -1,0 +1,499 @@
+package workerd
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fpmpart/internal/faults"
+	"fpmpart/internal/fpm"
+	"fpmpart/internal/refine"
+)
+
+// constModel builds a flat FPM at the given speed (rows/second).
+func constModel(t *testing.T, speed float64) *fpm.PiecewiseLinear {
+	t.Helper()
+	pl, err := fpm.NewPiecewiseLinear([]fpm.Point{
+		{Size: 1, Speed: speed}, {Size: 1 << 20, Speed: speed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// mapModels is an in-memory ModelSink + ModelSource for executor tests.
+type mapModels struct {
+	mu     sync.Mutex
+	models map[string]*fpm.PiecewiseLinear
+	gens   map[string]uint64
+}
+
+func newMapModels() *mapModels {
+	return &mapModels{models: map[string]*fpm.PiecewiseLinear{}, gens: map[string]uint64{}}
+}
+
+func (m *mapModels) PutWorkerModel(name string, pl *fpm.PiecewiseLinear) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gens[name]++
+	m.models[name] = pl
+	return m.gens[name], nil
+}
+
+func (m *mapModels) WorkerModel(name string) (*fpm.PiecewiseLinear, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pl, ok := m.models[name]
+	if !ok {
+		return nil, 0, &modelMissingError{name}
+	}
+	return pl, m.gens[name], nil
+}
+
+type modelMissingError struct{ name string }
+
+func (e *modelMissingError) Error() string { return "no model for " + e.name }
+
+// recordObserver captures observed shard samples.
+type recordObserver struct {
+	mu      sync.Mutex
+	samples map[string][]refine.Sample
+}
+
+func (o *recordObserver) ObserveWorker(name string, samples []refine.Sample) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.samples == nil {
+		o.samples = map[string][]refine.Sample{}
+	}
+	o.samples[name] = append(o.samples[name], samples...)
+}
+
+// startWorker serves one Worker over httptest and registers it in the pool.
+func startWorker(t *testing.T, pool *Pool, models *mapModels, name string, speed float64, inj *faults.Injector) (*httptest.Server, *Worker) {
+	t.Helper()
+	w, err := NewWorker(WorkerOptions{Name: name, Workers: 1, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	raw, err := constModel(t, speed).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register(context.Background(), Registration{
+		Name: name, URL: srv.URL, Cores: 1, Model: raw,
+	}); err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	_ = models // registered through the pool's sink
+	return srv, w
+}
+
+func TestShardRequestValidate(t *testing.T) {
+	bad := []ShardRequest{
+		{Kind: "fft", Rows: 10, K: 10, N: 10, Row1: 10},
+		{Kind: KindGemm, Rows: 0, K: 10, N: 10},
+		{Kind: KindGemm, Rows: 10, K: 0, N: 10, Row1: 5},
+		{Kind: KindStencil, Rows: 10, N: 10, Row1: 5}, // iters missing
+		{Kind: KindGemm, Rows: 10, K: 10, N: 10, Row0: 5, Row1: 5},
+		{Kind: KindGemm, Rows: 10, K: 10, N: 10, Row0: 0, Row1: 11},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected error, got nil", i)
+		}
+	}
+	ok := ShardRequest{Kind: KindGemm, Rows: 10, K: 4, N: 4, Row0: 2, Row1: 8, Seed: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+func TestGemmShardDeterminism(t *testing.T) {
+	req := &ShardRequest{Job: "t", Kind: KindGemm, Seed: 7, Rows: 96, K: 32, N: 48, Row0: 16, Row1: 64}
+	a, _, err := executeGemm(req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := executeGemm(req, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("gemm shard bytes differ between 1 and 4 kernel workers")
+	}
+	if checksumBytes(a) != checksumBytes(b) {
+		t.Fatal("checksums differ")
+	}
+}
+
+func TestBandEncodeDecodeRoundtrip(t *testing.T) {
+	req := &ShardRequest{Job: "t", Kind: KindGemm, Seed: 3, Rows: 20, K: 8, N: 10, Row0: 5, Row1: 15}
+	raw, _, err := executeGemm(req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeBand(raw, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBand(m), raw) {
+		t.Fatal("encode(decode(band)) != band")
+	}
+	if _, err := decodeBand(raw, 3, 3); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestSelfCalibrate(t *testing.T) {
+	pl, err := SelfCalibrate([]int{64, 16, 32}, 32, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := pl.Points()
+	if len(pts) == 0 {
+		t.Fatal("no calibration points")
+	}
+	for i, p := range pts {
+		if p.Speed <= 0 {
+			t.Fatalf("point %d: non-positive speed %v", i, p.Speed)
+		}
+		if i > 0 && pts[i].Size <= pts[i-1].Size {
+			t.Fatalf("sizes not ascending at %d", i)
+		}
+	}
+	if _, err := SelfCalibrate(nil, 32, 32, 1); err == nil {
+		t.Fatal("expected error for empty bands")
+	}
+	if _, err := SelfCalibrate([]int{0}, 32, 32, 1); err == nil {
+		t.Fatal("expected error for zero band")
+	}
+}
+
+func TestCalibrationNetworkDefensiveDefaults(t *testing.T) {
+	n := Calibration{}.Network()
+	if n.Latency <= 0 || n.LinkBandwidth <= 0 {
+		t.Fatalf("zero calibration must fall back to positive defaults, got %+v", n)
+	}
+	n = Calibration{RTTSeconds: 2e-3, BandwidthBps: 1e8}.Network()
+	if n.Latency != 1e-3 {
+		t.Fatalf("latency = %v, want RTT/2 = 1e-3", n.Latency)
+	}
+	if n.LinkBandwidth != 1e8 {
+		t.Fatalf("bandwidth = %v, want 1e8", n.LinkBandwidth)
+	}
+}
+
+func TestPoolRegisterHeartbeatExpire(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: 200 * time.Millisecond, ProbeCount: 1, ProbeBytes: 4096})
+	pool.Start()
+	defer pool.Stop()
+
+	startWorker(t, pool, models, "w1", 100, nil)
+	info, ok := pool.Get("w1")
+	if !ok || !info.Alive {
+		t.Fatalf("w1 should be alive after registration: %+v", info)
+	}
+	if info.Calibration.RTTSeconds <= 0 || info.Calibration.BandwidthBps <= 0 {
+		t.Fatalf("calibration not measured: %+v", info.Calibration)
+	}
+	if _, _, err := models.WorkerModel("w1"); err != nil {
+		t.Fatalf("registration did not publish the model: %v", err)
+	}
+
+	// No heartbeats: the janitor must expire the worker.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if info, _ = pool.Get("w1"); !info.Alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never expired without heartbeats")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A heartbeat revives it.
+	if !pool.Heartbeat("w1") {
+		t.Fatal("heartbeat for known worker returned false")
+	}
+	if info, _ = pool.Get("w1"); !info.Alive {
+		t.Fatal("heartbeat did not revive the worker")
+	}
+	if pool.Heartbeat("ghost") {
+		t.Fatal("heartbeat for unknown worker returned true")
+	}
+	if !pool.Remove("w1") || pool.Remove("w1") {
+		t.Fatal("remove semantics broken")
+	}
+}
+
+func TestExecuteVerifiedBitExact(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	startWorker(t, pool, models, "fast", 400, nil)
+	startWorker(t, pool, models, "slow", 100, nil)
+
+	exec := NewExecutor(pool, models, nil, ExecutorOptions{})
+	rep, err := exec.Execute(context.Background(), ExecuteRequest{
+		Rows: 256, K: 48, N: 64, Seed: 11, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified || !rep.BitExact {
+		t.Fatalf("expected bit-exact verified result, got verified=%t bitExact=%t maxDiff=%v",
+			rep.Verified, rep.BitExact, rep.MaxAbsDiff)
+	}
+	if rep.Checksum == 0 {
+		t.Fatal("checksum not reported")
+	}
+	if len(rep.Detail) != 1 {
+		t.Fatalf("want 1 round report, got %d", len(rep.Detail))
+	}
+	// FPM proportionality: the 4x-faster model gets the (strictly) larger
+	// share of a 256-row job.
+	var fastU, slowU int
+	for _, s := range rep.Detail[0].Shards {
+		switch s.Worker {
+		case "fast":
+			fastU += s.Units
+		case "slow":
+			slowU += s.Units
+		}
+	}
+	if fastU <= slowU {
+		t.Fatalf("fpm gave fast=%d rows, slow=%d rows; want fast > slow", fastU, slowU)
+	}
+	if fastU+slowU != 256 {
+		t.Fatalf("shares cover %d of 256 rows", fastU+slowU)
+	}
+}
+
+func TestExecuteStencilVerified(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	startWorker(t, pool, models, "s1", 200, nil)
+	startWorker(t, pool, models, "s2", 200, nil)
+
+	exec := NewExecutor(pool, models, nil, ExecutorOptions{})
+	rep, err := exec.Execute(context.Background(), ExecuteRequest{
+		Kind: KindStencil, Rows: 128, N: 64, Iters: 3, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitExact {
+		t.Fatalf("stencil result not bit-exact: maxDiff=%v", rep.MaxAbsDiff)
+	}
+}
+
+func TestExecuteEvenSplit(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	startWorker(t, pool, models, "a", 400, nil)
+	startWorker(t, pool, models, "b", 100, nil)
+
+	exec := NewExecutor(pool, models, nil, ExecutorOptions{})
+	rep, err := exec.Execute(context.Background(), ExecuteRequest{
+		Rows: 101, K: 32, N: 32, Partition: PartitionEven, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := map[string]int{}
+	for _, s := range rep.Detail[0].Shards {
+		units[s.Worker] += s.Units
+	}
+	if d := units["a"] - units["b"]; d < -1 || d > 1 {
+		t.Fatalf("even split uneven: %v", units)
+	}
+	if !rep.BitExact {
+		t.Fatal("even-split result not bit-exact")
+	}
+}
+
+func TestExecuteRejectsBadRequests(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	exec := NewExecutor(pool, models, nil, ExecutorOptions{})
+	cases := []ExecuteRequest{
+		{Rows: 0},
+		{Rows: 10, Kind: "fft"},
+		{Rows: 10, Partition: "zigzag"},
+		{Rows: 10, Rounds: 20000},
+	}
+	for i, req := range cases {
+		if _, err := exec.Execute(context.Background(), req); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// No workers registered at all.
+	if _, err := exec.Execute(context.Background(), ExecuteRequest{Rows: 10}); err == nil {
+		t.Fatal("expected no-workers error")
+	}
+	// Unknown worker subset.
+	startWorker(t, pool, models, "real", 100, nil)
+	if _, err := exec.Execute(context.Background(), ExecuteRequest{Rows: 10, Workers: []string{"ghost"}}); err == nil {
+		t.Fatal("expected unknown-worker error")
+	}
+}
+
+// TestExecuteWorkerDeathMidJob is the recovery contract: a worker that dies
+// between shard dispatch and completion (its fault plan severs the
+// connection mid-response) must be marked dead, its band re-partitioned
+// among the survivors, and the gathered result must still be bit-identical
+// to the local kernel replay.
+func TestExecuteWorkerDeathMidJob(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	startWorker(t, pool, models, "ok1", 200, nil)
+	startWorker(t, pool, models, "ok2", 200, nil)
+
+	// The doomed worker crashes on its first shard (round 0). Its CrashFn
+	// severs every open connection, so the executor sees a transport error
+	// on an in-flight request — exactly what a process kill looks like.
+	spec, err := faults.ParseSpec("crash:dev=0,iter=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerOptions{Name: "doomed", Workers: 1, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	w.opts.CrashFn = func() { srv.CloseClientConnections() }
+	raw, err := constModel(t, 200).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register(context.Background(), Registration{
+		Name: "doomed", URL: srv.URL, Cores: 1, Model: raw,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	obs := &recordObserver{}
+	exec := NewExecutor(pool, models, obs, ExecutorOptions{ShardTimeout: 10 * time.Second})
+	rep, err := exec.Execute(context.Background(), ExecuteRequest{
+		Rows: 300, K: 48, N: 64, Seed: 5, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deaths) != 1 || rep.Deaths[0] != "doomed" {
+		t.Fatalf("deaths = %v, want [doomed]", rep.Deaths)
+	}
+	if rep.Detail[0].Repartitions == 0 {
+		t.Fatal("no repartition recorded after the death")
+	}
+	if !rep.BitExact {
+		t.Fatalf("post-recovery result not bit-exact: maxDiff=%v", rep.MaxAbsDiff)
+	}
+	if info, _ := pool.Get("doomed"); info.Alive {
+		t.Fatal("dead worker still marked alive")
+	}
+	if info, _ := pool.Get("doomed"); info.Failures == 0 {
+		t.Fatal("failure not counted against the dead worker")
+	}
+	// Survivors' timings were observed; the dead worker contributed none.
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.samples["ok1"]) == 0 || len(obs.samples["ok2"]) == 0 {
+		t.Fatalf("survivor samples missing: %v", obs.samples)
+	}
+	if len(obs.samples["doomed"]) != 0 {
+		t.Fatal("dead worker's failed shard must not feed the refiner")
+	}
+}
+
+// TestExecuteAllWorkersDead: when every worker dies the job errors with a
+// partial report rather than hanging or panicking.
+func TestExecuteAllWorkersDead(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	spec, _ := faults.ParseSpec("crash:dev=0,iter=0")
+	for _, name := range []string{"d1", "d2"} {
+		inj, err := faults.NewInjector(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker(WorkerOptions{Name: name, Workers: 1, Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		w.opts.CrashFn = func() { srv.CloseClientConnections() }
+		raw, _ := constModel(t, 100).MarshalJSON()
+		if _, err := pool.Register(context.Background(), Registration{
+			Name: name, URL: srv.URL, Cores: 1, Model: raw,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec := NewExecutor(pool, models, nil, ExecutorOptions{ShardTimeout: 10 * time.Second})
+	_, err := exec.Execute(context.Background(), ExecuteRequest{Rows: 64, K: 16, N: 16})
+	if err == nil {
+		t.Fatal("expected failure when every worker dies")
+	}
+}
+
+// TestExecuteMultiRoundGenerations: the executor resolves models fresh each
+// round, so a model republished between rounds shows up as a generation
+// bump in the round reports — the hook online refinement acts through.
+func TestExecuteMultiRoundGenerations(t *testing.T) {
+	models := newMapModels()
+	pool := NewPool(models, PoolOptions{TTL: time.Minute, ProbeCount: 1, ProbeBytes: 4096})
+	startWorker(t, pool, models, "w1", 100, nil)
+	startWorker(t, pool, models, "w2", 100, nil)
+
+	// bumper republishes w1's model after every observed round.
+	bumper := &genBumper{models: models, t: t}
+	exec := NewExecutor(pool, models, bumper, ExecutorOptions{})
+	rep, err := exec.Execute(context.Background(), ExecuteRequest{
+		Rows: 96, K: 16, N: 16, Rounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Detail) != 3 {
+		t.Fatalf("want 3 rounds, got %d", len(rep.Detail))
+	}
+	g0 := rep.Detail[0].ModelGens["w1"]
+	g2 := rep.Detail[2].ModelGens["w1"]
+	if g2 <= g0 {
+		t.Fatalf("model generation did not advance across rounds: round0=%d round2=%d", g0, g2)
+	}
+}
+
+type genBumper struct {
+	models *mapModels
+	t      *testing.T
+}
+
+func (b *genBumper) ObserveWorker(name string, _ []refine.Sample) {
+	if name != "w1" {
+		return
+	}
+	pl, _, err := b.models.WorkerModel("w1")
+	if err != nil {
+		b.t.Error(err)
+		return
+	}
+	if _, err := b.models.PutWorkerModel("w1", pl); err != nil {
+		b.t.Error(err)
+	}
+}
